@@ -1,0 +1,619 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§4-§5), then times the primitives behind the headline claim
+   (behavioural-model queries vs transistor-level simulation) with Bechamel.
+
+   Default scale is the paper's (10,000 optimisation samples, 200 MC samples
+   per Pareto point, 500-sample verifications); set YIELDLAB_FAST=1 for a
+   reduced smoke run.  Ablation studies at the end exercise the design
+   choices DESIGN.md calls out. *)
+
+module Config = Yield_core.Config
+module Flow = Yield_core.Flow
+module Experiments = Yield_core.Experiments
+module Report = Yield_core.Report
+module Ota = Yield_circuits.Ota
+module Tb = Yield_circuits.Ota_testbench
+module Filter = Yield_circuits.Filter
+module Perf_model = Yield_behavioural.Perf_model
+module Var_model = Yield_behavioural.Var_model
+module Macromodel = Yield_behavioural.Macromodel
+module Yield_target = Yield_behavioural.Yield_target
+module Variation = Yield_process.Variation
+module Wbga = Yield_ga.Wbga
+module Pareto = Yield_ga.Pareto
+module Nsga2 = Yield_ga.Nsga2
+module Ga = Yield_ga.Ga
+module Rng = Yield_stats.Rng
+module Mat = Yield_numeric.Mat
+module Lu = Yield_numeric.Lu
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per primitive cost of Table 5's
+   time-accounting story. *)
+
+let time_benchmarks ctx =
+  let open Bechamel in
+  let design =
+    match Flow.design_for_spec ctx.Experiments.flow ctx.Experiments.spec with
+    | Ok plan -> plan.Yield_target.proposal.Macromodel.design
+    | Error _ -> (Perf_model.points ctx.Experiments.flow.Flow.perf_model).(0)
+  in
+  let params = Ota.params_of_array design.Perf_model.params in
+  let model = ctx.Experiments.flow.Flow.macromodel in
+  let variation = ctx.Experiments.config.Config.variation in
+  let mc_rng = Rng.create 5 in
+  let mat =
+    Mat.init 12 12 (fun i j -> if i = j then 25. else sin (float_of_int ((7 * i) + j)))
+  in
+  let vec = Array.init 12 float_of_int in
+  let tests =
+    [
+      Test.make ~name:"transistor-evaluation (DC+AC)"
+        (Staged.stage (fun () -> ignore (Tb.evaluate params)));
+      Test.make ~name:"transistor MC sample (perturb+DC+AC)"
+        (Staged.stage (fun () ->
+             ignore (Tb.evaluate_sampled ~spec:variation ~rng:mc_rng params)));
+      Test.make ~name:"behavioural-model query (tables only)"
+        (Staged.stage (fun () ->
+             ignore
+               (Macromodel.propose model
+                  ~gain_db:ctx.Experiments.spec.Yield_target.min_gain_db
+                  ~pm_deg:ctx.Experiments.spec.Yield_target.min_pm_deg)));
+      Test.make ~name:"behavioural filter evaluation"
+        (Staged.stage (fun () ->
+             ignore
+               (Filter.evaluate
+                  (Macromodel.amp_of_design design)
+                  Filter.default_spec
+                  { Filter.c1 = 30e-12; c2 = 15e-12; c3 = 0.3e-12 })));
+      Test.make ~name:"lu-solve 12x12"
+        (Staged.stage (fun () -> ignore (Lu.solve_system mat vec)));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  print_string (Report.section "Timing of the primitives (Bechamel)");
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg instances elt in
+          let estimate = Analyze.one ols Toolkit.Instance.monotonic_clock result in
+          match Analyze.OLS.estimates estimate with
+          | Some (t :: _) ->
+              Printf.printf "%-42s %12.3f us/run\n" (Test.Elt.name elt)
+                (t /. 1e3)
+          | Some [] | None ->
+              Printf.printf "%-42s (no estimate)\n" (Test.Elt.name elt))
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Ablation benches for the design choices DESIGN.md calls out. *)
+
+let ablation_interpolation ctx =
+  (* cubic ("3E", the paper) vs linear ("1E") table models: reproduce the
+     models from the same flow data and compare lookup error on the
+     Table 3 spec *)
+  print_string (Report.section "Ablation: table interpolation degree");
+  let flow = ctx.Experiments.flow in
+  let points = Perf_model.points flow.Flow.perf_model in
+  (* raw (guard:false) lookups so the interpolation degree is what is being
+     measured, not the family-snap guard *)
+  let spec = ctx.Experiments.spec in
+  List.iter
+    (fun control ->
+      let perf = Perf_model.create ~control points in
+      match
+        Perf_model.lookup ~guard:false perf
+          ~gain_db:spec.Yield_target.min_gain_db
+          ~pm_deg:spec.Yield_target.min_pm_deg
+      with
+      | exception _ -> Printf.printf "%-4s lookup failed\n" control
+      | d when Array.exists (fun v -> v <= 0.) d.Perf_model.params ->
+          (* spline overshoot can leave the physical parameter range
+             entirely — itself a result worth reporting *)
+          Printf.printf
+            "%-4s interpolation produced non-physical parameters \
+             (spline overshoot)\n"
+            control
+      | d -> begin
+          let params = Ota.params_of_array d.Perf_model.params in
+          match
+            Tb.evaluate ~conditions:ctx.Experiments.config.Config.conditions
+              params
+          with
+          | None -> Printf.printf "%-4s transistor failed\n" control
+          | Some perf_t ->
+              Printf.printf
+                "%-4s claim gain %6.2f / pm %6.2f  realised %6.2f / %6.2f  \
+                 (err %.2f%% / %.2f%%)\n"
+                control d.Perf_model.gain_db d.Perf_model.pm_deg
+                perf_t.Tb.gain_db perf_t.Tb.phase_margin_deg
+                (100. *. Float.abs (perf_t.Tb.gain_db -. d.Perf_model.gain_db)
+                /. perf_t.Tb.gain_db)
+                (100.
+                *. Float.abs
+                     (perf_t.Tb.phase_margin_deg -. d.Perf_model.pm_deg)
+                /. perf_t.Tb.phase_margin_deg)
+        end)
+    [ "3E"; "2E"; "1E"; "ME" ]
+
+let ablation_wbga_vs_nsga2 ctx =
+  (* front quality (2-D hypervolume) of the paper's WBGA vs NSGA-II at the
+     same evaluation budget *)
+  print_string (Report.section "Ablation: WBGA (paper) vs NSGA-II front quality");
+  let conditions = ctx.Experiments.config.Config.conditions in
+  let evaluate params =
+    match Tb.evaluate ~conditions (Ota.params_of_array params) with
+    | Some p when Tb.feasible conditions p -> Some (Tb.objectives p)
+    | Some _ | None -> None
+  in
+  let budget_pop, budget_gen =
+    match Config.scale_name ctx.Experiments.config with
+    | "paper-scale" -> (60, 50)
+    | _ -> (24, 15)
+  in
+  let ref_point = (30., 0.) in
+  let wbga =
+    Wbga.run
+      ~config:{ Ga.default_config with Ga.population_size = budget_pop; generations = budget_gen }
+      ~param_ranges:Ota.param_ranges
+      ~objectives:
+        [| { Wbga.name = "gain"; maximise = true }; { Wbga.name = "pm"; maximise = true } |]
+      ~rng:(Rng.create 7) ~evaluate ()
+  in
+  let wbga_points = Array.map (fun (e : Wbga.entry) -> e.Wbga.objectives) wbga.Wbga.archive in
+  let nsga =
+    Nsga2.run
+      ~config:
+        { Nsga2.default_config with Nsga2.population_size = budget_pop; generations = budget_gen }
+      ~param_ranges:Ota.param_ranges ~maximise:[| true; true |]
+      ~rng:(Rng.create 7) ~evaluate ()
+  in
+  let nsga_points = Array.map (fun (e : Nsga2.entry) -> e.Nsga2.objectives) nsga.Nsga2.archive in
+  Printf.printf
+    "budget %d x %d evaluations\n\
+     WBGA:    archive %5d, front %4d, hypervolume %10.1f\n\
+     NSGA-II: archive %5d, front %4d, hypervolume %10.1f\n"
+    budget_pop budget_gen (Array.length wbga_points)
+    (Array.length wbga.Wbga.front)
+    (Pareto.hypervolume_2d ~ref_point wbga_points)
+    (Array.length nsga_points)
+    (Array.length nsga.Nsga2.front)
+    (Pareto.hypervolume_2d ~ref_point nsga_points)
+
+let ablation_variation_scaling ctx =
+  (* how the Table 2 spreads scale with the process-variation magnitude *)
+  print_string (Report.section "Ablation: variation-model scaling");
+  let design =
+    match Flow.design_for_spec ctx.Experiments.flow ctx.Experiments.spec with
+    | Ok plan -> plan.Yield_target.proposal.Macromodel.design
+    | Error _ -> (Perf_model.points ctx.Experiments.flow.Flow.perf_model).(0)
+  in
+  let params = Ota.params_of_array design.Perf_model.params in
+  let conditions = ctx.Experiments.config.Config.conditions in
+  let nominal = Tb.evaluate ~conditions params in
+  match nominal with
+  | None -> print_endline "nominal evaluation failed"
+  | Some nom ->
+      let samples =
+        match Config.scale_name ctx.Experiments.config with
+        | "paper-scale" -> 200
+        | _ -> 40
+      in
+      List.iter
+        (fun k ->
+          let spec = Variation.scale_spec k Variation.default_spec in
+          let rng = Rng.create 13 in
+          let results =
+            Yield_process.Montecarlo.run ~samples ~rng (fun r ->
+                Tb.evaluate_sampled ~conditions ~spec ~rng:r params)
+          in
+          let gains = Array.map (fun r -> r.Tb.gain_db) results in
+          let pms = Array.map (fun r -> r.Tb.phase_margin_deg) results in
+          Printf.printf "sigma x%-4.2g  dGain %5.2f %%   dPM %5.2f %%\n" k
+            (Yield_process.Montecarlo.spread_pct gains ~nominal:nom.Tb.gain_db)
+            (Yield_process.Montecarlo.spread_pct pms
+               ~nominal:nom.Tb.phase_margin_deg))
+        [ 0.5; 1.0; 2.0 ]
+
+(* Extended characterisation of the chosen design: the "higher order
+   effects" the paper notes could be incorporated — time-domain, rejection
+   and noise figures from the same substrate. *)
+let extended_characterisation ctx =
+  print_string
+    (Report.section "Extended characterisation of the Table 3 design");
+  match Flow.design_for_spec ctx.Experiments.flow ctx.Experiments.spec with
+  | Error e -> print_endline ("no design: " ^ e)
+  | Ok plan ->
+      let design = plan.Yield_target.proposal.Macromodel.design in
+      let params = Ota.params_of_array design.Perf_model.params in
+      (match Tb.step_perf params with
+      | Some s ->
+          Printf.printf
+            "step response: slew %.2f V/us, 1%% settling %s, overshoot %.1f %%\n"
+            s.Tb.slew_v_per_us
+            (match s.Tb.settling_1pct_s with
+            | Some t -> Printf.sprintf "%ss" (Report.si t)
+            | None -> "not reached")
+            s.Tb.overshoot_pct
+      | None -> print_endline "step response failed");
+      (match Tb.cmrr_db params with
+      | Some v -> Printf.printf "CMRR %.1f dB\n" v
+      | None -> print_endline "CMRR failed");
+      (match Tb.psrr_db params with
+      | Some v -> Printf.printf "PSRR %.1f dB\n" v
+      | None -> print_endline "PSRR failed");
+      (match Tb.input_referred_noise params with
+      | Some (_, rms) ->
+          Printf.printf "input-referred noise, f_lo to f_u: %.1f uVrms\n"
+            (rms *. 1e6)
+      | None -> print_endline "noise analysis failed");
+      (* which process component drives the gain spread *)
+      let spec = ctx.Experiments.config.Config.variation in
+      let eval draw =
+        Option.map
+          (fun p -> p.Tb.gain_db)
+          (Tb.evaluate_with_draw
+             ~conditions:ctx.Experiments.config.Config.conditions ~spec ~draw
+             params)
+      in
+      (match Yield_process.Sensitivity.analyse ~spec ~eval with
+      | Error e -> print_endline ("sensitivity failed: " ^ e)
+      | Ok results ->
+          print_endline "gain variance decomposition (global components):";
+          List.iter
+            (fun (r : Yield_process.Sensitivity.result) ->
+              Printf.printf "  %-7s %5.1f %%  (%+.4f dB/sigma)\n"
+                (Yield_process.Sensitivity.to_string r.Yield_process.Sensitivity.component)
+                (100. *. r.Yield_process.Sensitivity.variance_share)
+                r.Yield_process.Sensitivity.per_sigma)
+            results)
+
+(* LHS vs plain Monte Carlo: spread of the dGain estimate across repeated
+   small runs. *)
+let ablation_lhs ctx =
+  print_string (Report.section "Ablation: Latin hypercube vs plain Monte Carlo");
+  let design =
+    match Flow.design_for_spec ctx.Experiments.flow ctx.Experiments.spec with
+    | Ok plan -> plan.Yield_target.proposal.Macromodel.design
+    | Error _ -> (Perf_model.points ctx.Experiments.flow.Flow.perf_model).(0)
+  in
+  let params = Ota.params_of_array design.Perf_model.params in
+  let conditions = ctx.Experiments.config.Config.conditions in
+  let spec = ctx.Experiments.config.Config.variation in
+  match Tb.evaluate ~conditions params with
+  | None -> print_endline "nominal evaluation failed"
+  | Some nominal ->
+      let n = 24 in
+      let repeats = match Config.scale_name ctx.Experiments.config with
+        | "paper-scale" -> 12
+        | _ -> 5
+      in
+      let estimate_mc seed =
+        let rng = Rng.create seed in
+        let rs =
+          Yield_process.Montecarlo.run ~samples:n ~rng (fun r ->
+              Tb.evaluate_sampled ~conditions ~spec ~rng:r params)
+        in
+        let gains = Array.map (fun r -> r.Tb.gain_db) rs in
+        Yield_process.Montecarlo.spread_pct gains ~nominal:nominal.Tb.gain_db
+      in
+      let estimate_lhs seed =
+        let rng = Rng.create seed in
+        let normals =
+          Yield_stats.Lhs.sample_normal rng ~n ~dims:Variation.global_dims
+        in
+        let gains =
+          Array.to_list normals
+          |> List.filter_map (fun z ->
+                 let draw = Variation.global_draw_of_normals spec z in
+                 let circuit, _ = Tb.build ~conditions params in
+                 let perturbed =
+                   Variation.perturb_circuit_with_draw spec draw
+                     (Rng.split rng) circuit
+                 in
+                 match Tb.bode_of_circuit ~conditions perturbed with
+                 | None -> None
+                 | Some b ->
+                     Option.map
+                       (fun p -> p.Tb.gain_db)
+                       (Tb.perf_of_bode conditions b))
+          |> Array.of_list
+        in
+        Yield_process.Montecarlo.spread_pct gains ~nominal:nominal.Tb.gain_db
+      in
+      let spread f =
+        let xs = Array.init repeats (fun i -> f (1000 + i)) in
+        Yield_stats.Summary.stddev (Yield_stats.Summary.of_array xs)
+      in
+      let mc = spread estimate_mc and lhs = spread estimate_lhs in
+      Printf.printf
+        "sd of the dGain estimate over %d repeated %d-sample runs:\n\
+         plain MC %.4f %%   LHS (stratified globals) %.4f %%\n"
+        repeats n mc lhs
+
+(* Corner analysis as a cheap alternative to the Monte Carlo variation
+   model: 5 deterministic corner evaluations vs 200 statistical samples. *)
+let ablation_corners_vs_mc ctx =
+  print_string (Report.section "Ablation: corner envelope vs Monte Carlo spread");
+  let design =
+    match Flow.design_for_spec ctx.Experiments.flow ctx.Experiments.spec with
+    | Ok plan -> plan.Yield_target.proposal.Macromodel.design
+    | Error _ -> (Perf_model.points ctx.Experiments.flow.Flow.perf_model).(0)
+  in
+  let params = Ota.params_of_array design.Perf_model.params in
+  let conditions = ctx.Experiments.config.Config.conditions in
+  let spec = ctx.Experiments.config.Config.variation in
+  match Tb.evaluate ~conditions params with
+  | None -> print_endline "nominal evaluation failed"
+  | Some nominal -> begin
+      (* corner envelope: worst deviation across the 3-sigma corners *)
+      let corner_dev =
+        List.filter_map
+          (fun corner ->
+            let tech = Yield_process.Corner.apply spec corner conditions.Tb.tech in
+            let conditions = { conditions with Tb.tech } in
+            Option.map
+              (fun (p : Tb.perf) ->
+                Float.abs (p.Tb.gain_db -. nominal.Tb.gain_db))
+              (Tb.evaluate ~conditions params))
+          Yield_process.Corner.all
+        |> List.fold_left Float.max 0.
+      in
+      let corner_pct = 100. *. corner_dev /. nominal.Tb.gain_db in
+      (* Monte Carlo 3-sigma spread *)
+      let samples =
+        match Config.scale_name ctx.Experiments.config with
+        | "paper-scale" -> 200
+        | _ -> 40
+      in
+      let rng = Rng.create 37 in
+      let rs =
+        Yield_process.Montecarlo.run ~samples ~rng (fun r ->
+            Tb.evaluate_sampled ~conditions ~spec ~rng:r params)
+      in
+      let gains = Array.map (fun r -> r.Tb.gain_db) rs in
+      let mc_pct =
+        Yield_process.Montecarlo.spread_pct gains ~nominal:nominal.Tb.gain_db
+      in
+      Printf.printf
+        "dGain envelope: corners (5 simulations) %.2f %%, Monte Carlo (%d \
+         simulations) %.2f %%\n"
+        corner_pct samples mc_pct;
+      print_endline
+        "corners only shift the corner-defined parameters (vth, kp) and see\n\
+         neither channel-length-modulation spread nor mismatch — and this\n\
+         OTA's gain variance is lambda-dominated (see the sensitivity\n\
+         decomposition above) — which is why the paper's variation model is\n\
+         statistical rather than corner-based."
+    end
+
+(* Model accuracy across the whole front: sweep the specification through
+   the model's range, design by table lookup, verify each design with a
+   transistor-level Monte Carlo run.  This generalises Table 4 from one
+   point to a curve. *)
+let model_accuracy_sweep ctx =
+  print_string
+    (Report.section "Model accuracy across the specification range");
+  let flow = ctx.Experiments.flow in
+  let glo, ghi = Perf_model.gain_range flow.Flow.perf_model in
+  let vlo, vhi = Var_model.gain_domain flow.Flow.var_model in
+  let lo = Float.max glo vlo and hi = Float.min ghi vhi in
+  let samples =
+    match Config.scale_name ctx.Experiments.config with
+    | "paper-scale" -> 100
+    | _ -> 24
+  in
+  let fractions = [ 0.15; 0.35; 0.55; 0.75; 0.9 ] in
+  Printf.printf
+    "spec sweep over gain %.1f..%.1f dB; %d-sample MC verification each\n" lo hi
+    samples;
+  List.iter
+    (fun f ->
+      let gain = lo +. (f *. (hi -. lo)) in
+      (* the PM requirement follows the front at the inflated gain (first
+         design above it), backed off 3 deg so the inflated request stays
+         feasible *)
+      let points = Perf_model.points flow.Flow.perf_model in
+      let dgain =
+        try Var_model.dgain_at flow.Flow.var_model ~gain_db:gain with _ -> 1.
+      in
+      let inflated = gain *. (1. +. (dgain /. 100.)) in
+      let above =
+        Array.fold_left
+          (fun best (p : Perf_model.point) ->
+            if p.Perf_model.gain_db >= inflated then
+              match best with
+              | Some (b : Perf_model.point) when b.Perf_model.gain_db <= p.Perf_model.gain_db -> best
+              | _ -> Some p
+            else best)
+          None points
+      in
+      let reference =
+        match above with Some p -> p | None -> points.(Array.length points - 1)
+      in
+      let spec =
+        {
+          Yield_target.min_gain_db = gain;
+          min_pm_deg = reference.Perf_model.pm_deg -. 3.;
+        }
+      in
+      match Flow.design_for_spec flow spec with
+      | Error e -> Printf.printf "  gain>%.1f: %s\n" gain e
+      | Ok plan -> begin
+          let design = plan.Yield_target.proposal.Macromodel.design in
+          let params = Ota.params_of_array design.Perf_model.params in
+          match Flow.verify_design flow ~samples ~spec params with
+          | Error e -> Printf.printf "  gain>%.1f: %s\n" gain e
+          | Ok v ->
+              let claim_err =
+                100.
+                *. Float.abs (v.Flow.nominal.Tb.gain_db -. design.Perf_model.gain_db)
+                /. v.Flow.nominal.Tb.gain_db
+              in
+              Printf.printf
+                "  spec (%.1f dB, %.1f deg): claim %.2f dB, realised %.2f dB \
+                 (err %.2f %%), MC yield %.1f %%\n"
+                spec.Yield_target.min_gain_db spec.Yield_target.min_pm_deg
+                design.Perf_model.gain_db v.Flow.nominal.Tb.gain_db claim_err
+                (100. *. v.Flow.yield.Yield_process.Montecarlo.yield)
+        end)
+    fractions
+
+(* Three-objective variant: add power to the paper's two objectives and
+   extract the 3-D non-dominated set (the general-arity Pareto path). *)
+let ablation_three_objectives ctx =
+  print_string (Report.section "Ablation: adding power as a third objective");
+  let conditions = ctx.Experiments.config.Config.conditions in
+  let evaluate3 params_arr =
+    let params = Ota.params_of_array params_arr in
+    let circuit, _ = Tb.build ~conditions params in
+    match Yield_spice.Dcop.solve circuit with
+    | Error _ -> None
+    | Ok op -> begin
+        match Tb.bode_of_circuit ~conditions circuit with
+        | None -> None
+        | Some b -> begin
+            match Tb.perf_of_bode conditions b with
+            | Some p when Tb.feasible conditions p ->
+                let supply_a =
+                  Float.abs (Yield_spice.Dcop.branch_current op "VDD")
+                in
+                let power_mw =
+                  conditions.Tb.tech.Yield_process.Tech.vdd *. supply_a *. 1e3
+                in
+                Some [| p.Tb.gain_db; p.Tb.phase_margin_deg; -.power_mw |]
+            | Some _ | None -> None
+          end
+      end
+  in
+  let pop, gens =
+    match Config.scale_name ctx.Experiments.config with
+    | "paper-scale" -> (40, 30)
+    | _ -> (16, 10)
+  in
+  let result =
+    Wbga.run
+      ~config:{ Ga.default_config with Ga.population_size = pop; generations = gens }
+      ~param_ranges:Ota.param_ranges
+      ~objectives:
+        [|
+          { Wbga.name = "gain"; maximise = true };
+          { Wbga.name = "pm"; maximise = true };
+          { Wbga.name = "neg_power"; maximise = true };
+        |]
+      ~rng:(Rng.create 29) ~evaluate:evaluate3 ()
+  in
+  Printf.printf "%d evaluations, 3-D front %d points\n" result.Wbga.evaluations
+    (Array.length result.Wbga.front);
+  let n = Array.length result.Wbga.front in
+  Array.iteri
+    (fun i (e : Wbga.entry) ->
+      if i mod (Stdlib.max 1 (n / 8)) = 0 || i = n - 1 then
+        Printf.printf "  gain %6.2f dB  pm %6.2f deg  power %6.3f mW\n"
+          e.Wbga.objectives.(0) e.Wbga.objectives.(1)
+          (-.e.Wbga.objectives.(2)))
+    result.Wbga.front
+
+(* The flow is not OTA-specific: run the same WBGA -> Pareto -> Monte Carlo
+   pipeline on the two-stage Miller OTA. *)
+let generalisation_miller ctx =
+  print_string
+    (Report.section "Generalisation: the flow on a two-stage Miller OTA");
+  let module Miller = Yield_circuits.Miller in
+  let module Mtb = Yield_circuits.Miller_testbench in
+  let module Gtb = Yield_circuits.Testbench in
+  (* the Miller stage's unity gain is gm1/(2 pi Cc) ~ 7 MHz, so the
+     bandwidth floor moves accordingly *)
+  let conditions = { Gtb.default_conditions with Gtb.min_unity_gain_hz = 5e6 } in
+  let evaluate params =
+    match Mtb.evaluate ~conditions (Miller.params_of_array params) with
+    | Some p when Gtb.feasible conditions p -> Some (Gtb.objectives p)
+    | Some _ | None -> None
+  in
+  let pop, gens =
+    match Config.scale_name ctx.Experiments.config with
+    | "paper-scale" -> (60, 40)
+    | _ -> (24, 12)
+  in
+  let result =
+    Wbga.run
+      ~config:{ Ga.default_config with Ga.population_size = pop; generations = gens }
+      ~param_ranges:Miller.param_ranges
+      ~objectives:
+        [| { Wbga.name = "gain"; maximise = true }; { Wbga.name = "pm"; maximise = true } |]
+      ~rng:(Rng.create 17) ~evaluate ()
+  in
+  Printf.printf "%d evaluations, %d infeasible, front %d\n"
+    result.Wbga.evaluations result.Wbga.failures (Array.length result.Wbga.front);
+  let n = Array.length result.Wbga.front in
+  Array.iteri
+    (fun i (e : Wbga.entry) ->
+      if i mod (Stdlib.max 1 (n / 10)) = 0 || i = n - 1 then
+        Printf.printf "  gain %6.2f dB   pm %6.2f deg\n" e.Wbga.objectives.(0)
+          e.Wbga.objectives.(1))
+    result.Wbga.front;
+  (* variation spreads on a handful of front designs *)
+  if n > 0 then begin
+    let samples =
+      match Config.scale_name ctx.Experiments.config with
+      | "paper-scale" -> 60
+      | _ -> 20
+    in
+    let rng = Rng.create 23 in
+    let picks = [ 0; n / 2; n - 1 ] |> List.sort_uniq compare in
+    List.iter
+      (fun i ->
+        let e = result.Wbga.front.(i) in
+        let params = Miller.params_of_array e.Wbga.params in
+        let rs =
+          Yield_process.Montecarlo.run ~samples ~rng (fun r ->
+              Mtb.evaluate_sampled ~conditions
+                ~spec:ctx.Experiments.config.Config.variation ~rng:r params)
+        in
+        if Array.length rs > 4 then begin
+          let gains = Array.map (fun r -> r.Gtb.gain_db) rs in
+          let pms = Array.map (fun r -> r.Gtb.phase_margin_deg) rs in
+          Printf.printf
+            "  front #%d: gain %.2f dB (dGain %.2f %%), pm %.2f deg (dPM %.2f %%)\n"
+            (i + 1) e.Wbga.objectives.(0)
+            (Yield_process.Montecarlo.spread_pct gains
+               ~nominal:e.Wbga.objectives.(0))
+            e.Wbga.objectives.(1)
+            (Yield_process.Montecarlo.spread_pct pms
+               ~nominal:e.Wbga.objectives.(1))
+        end)
+      picks
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let config = Config.of_env () in
+  Printf.printf
+    "yieldlab benchmark harness — %s (set YIELDLAB_FAST=1 for a smoke run)\n%!"
+    (Config.scale_name config);
+  let ctx = Experiments.make_context ~log:(Printf.printf "%s\n%!") config in
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "%!";
+      ignore name;
+      print_string (f ctx);
+      Printf.printf "%!")
+    Experiments.all;
+  extended_characterisation ctx;
+  time_benchmarks ctx;
+  ablation_interpolation ctx;
+  ablation_wbga_vs_nsga2 ctx;
+  ablation_variation_scaling ctx;
+  ablation_lhs ctx;
+  ablation_corners_vs_mc ctx;
+  model_accuracy_sweep ctx;
+  ablation_three_objectives ctx;
+  generalisation_miller ctx;
+  print_string (Report.section "done")

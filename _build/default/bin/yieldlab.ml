@@ -1,0 +1,616 @@
+(* The yieldlab command-line interface.
+
+   Subcommands cover the flow stage by stage:
+     ota-eval   evaluate one OTA sizing at transistor level
+     corners    the same design across process corners
+     mc         Monte Carlo analysis of one design against a spec
+     optimize   the WBGA multi-objective optimisation alone
+     flow       the full model-generation flow; writes the .tbl tables
+     design     yield-targeted design query against saved tables
+     filter     the Section 5 filter design from an OTA description
+     netlist    parse a SPICE-like netlist, solve DC, print the bias point *)
+
+module Ota = Yield_circuits.Ota
+module Tb = Yield_circuits.Ota_testbench
+module Filter = Yield_circuits.Filter
+module Config = Yield_core.Config
+module Flow = Yield_core.Flow
+module Report = Yield_core.Report
+module Experiments = Yield_core.Experiments
+module Perf_model = Yield_behavioural.Perf_model
+module Var_model = Yield_behavioural.Var_model
+module Macromodel = Yield_behavioural.Macromodel
+module Yield_target = Yield_behavioural.Yield_target
+module Variation = Yield_process.Variation
+module Corner = Yield_process.Corner
+module Montecarlo = Yield_process.Montecarlo
+module Tech = Yield_process.Tech
+module Wbga = Yield_ga.Wbga
+module Ga = Yield_ga.Ga
+module Rng = Yield_stats.Rng
+module Circuit = Yield_spice.Circuit
+module Dcop = Yield_spice.Dcop
+module Netlist = Yield_spice.Netlist
+
+open Cmdliner
+
+(* ---------- shared arguments ---------- *)
+
+let um = 1e-6
+
+let param_term =
+  let doc name = Arg.info [ name ] ~docv:"UM" ~doc:(name ^ " in micrometres") in
+  let dim name default =
+    Arg.(value & opt float default & doc name)
+  in
+  let combine w1 l1 w2 l2 w3 l3 w4 l4 =
+    Ota.clamp_params
+      {
+        Ota.w1 = w1 *. um;
+        l1 = l1 *. um;
+        w2 = w2 *. um;
+        l2 = l2 *. um;
+        w3 = w3 *. um;
+        l3 = l3 *. um;
+        w4 = w4 *. um;
+        l4 = l4 *. um;
+      }
+  in
+  Term.(
+    const combine $ dim "w1" 30. $ dim "l1" 1. $ dim "w2" 30. $ dim "l2" 1.
+    $ dim "w3" 30. $ dim "l3" 1. $ dim "w4" 30. $ dim "l4" 1.)
+
+let seed_term =
+  Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"N" ~doc:"random seed")
+
+let samples_term default =
+  Arg.(
+    value & opt int default
+    & info [ "samples" ] ~docv:"N" ~doc:"Monte Carlo sample count")
+
+let tables_dir_term =
+  Arg.(
+    value & opt string "."
+    & info [ "tables" ] ~docv:"DIR" ~doc:"directory holding the .tbl models")
+
+let print_perf (p : Tb.perf) =
+  Printf.printf "gain          %8.2f dB\n" p.Tb.gain_db;
+  Printf.printf "phase margin  %8.2f deg\n" p.Tb.phase_margin_deg;
+  Printf.printf "unity gain    %8s Hz\n" (Report.si p.Tb.unity_gain_hz);
+  Printf.printf "f3db          %8s Hz\n" (Report.si p.Tb.f3db_hz);
+  Printf.printf "rout (est)    %8s Ohm\n" (Report.si p.Tb.rout_est)
+
+(* ---------- ota-eval ---------- *)
+
+let ota_eval params show_netlist =
+  (match Tb.evaluate params with
+  | Some perf -> print_perf perf
+  | None -> prerr_endline "evaluation failed (DC non-convergence?)");
+  if show_netlist then begin
+    let circuit, _ = Tb.build params in
+    print_newline ();
+    print_string (Netlist.to_string circuit)
+  end;
+  0
+
+let ota_eval_cmd =
+  let netlist_flag =
+    Arg.(value & flag & info [ "netlist" ] ~doc:"also print the testbench netlist")
+  in
+  Cmd.v
+    (Cmd.info "ota-eval" ~doc:"evaluate one OTA sizing at transistor level")
+    Term.(const ota_eval $ param_term $ netlist_flag)
+
+(* ---------- miller-eval ---------- *)
+
+let miller_eval params =
+  let module Mtb = Yield_circuits.Miller_testbench in
+  let module Gtb = Yield_circuits.Testbench in
+  let conditions =
+    { Gtb.default_conditions with Gtb.min_unity_gain_hz = 5e6 }
+  in
+  match Mtb.evaluate ~conditions params with
+  | Some p ->
+      Printf.printf "gain          %8.2f dB\n" p.Gtb.gain_db;
+      Printf.printf "phase margin  %8.2f deg\n" p.Gtb.phase_margin_deg;
+      Printf.printf "unity gain    %8s Hz\n" (Report.si p.Gtb.unity_gain_hz);
+      Printf.printf "rout (est)    %8s Ohm\n" (Report.si p.Gtb.rout_est);
+      0
+  | None ->
+      prerr_endline "evaluation failed (DC non-convergence?)";
+      1
+
+let miller_param_term =
+  let doc name = Arg.info [ name ] ~docv:"UM" ~doc:(name ^ " in micrometres") in
+  let dim name default = Arg.(value & opt float default & doc name) in
+  let combine w1 l1 w2 l2 w3 l3 w4 l4 =
+    {
+      Yield_circuits.Miller.w1 = w1 *. um;
+      l1 = l1 *. um;
+      w2 = w2 *. um;
+      l2 = l2 *. um;
+      w3 = w3 *. um;
+      l3 = l3 *. um;
+      w4 = w4 *. um;
+      l4 = l4 *. um;
+    }
+  in
+  Term.(
+    const combine $ dim "w1" 20. $ dim "l1" 1. $ dim "w2" 60. $ dim "l2" 0.5
+    $ dim "w3" 30. $ dim "l3" 1. $ dim "w4" 30. $ dim "l4" 1.)
+
+let miller_eval_cmd =
+  Cmd.v
+    (Cmd.info "miller-eval"
+       ~doc:"evaluate a two-stage Miller OTA sizing at transistor level")
+    Term.(const miller_eval $ miller_param_term)
+
+(* ---------- corners ---------- *)
+
+let corners params =
+  List.iter
+    (fun corner ->
+      let tech = Corner.apply Variation.default_spec corner Tech.c35 in
+      let conditions = { Tb.default_conditions with Tb.tech } in
+      match Tb.evaluate ~conditions params with
+      | Some p ->
+          Printf.printf "%-3s gain %6.2f dB  pm %6.2f deg  fu %8s Hz\n"
+            (Corner.to_string corner)
+            p.Tb.gain_db p.Tb.phase_margin_deg
+            (Report.si p.Tb.unity_gain_hz)
+      | None ->
+          Printf.printf "%-3s evaluation failed\n" (Corner.to_string corner))
+    Corner.all;
+  0
+
+let corners_cmd =
+  Cmd.v
+    (Cmd.info "corners" ~doc:"evaluate a design across process corners")
+    Term.(const corners $ param_term)
+
+(* ---------- mc ---------- *)
+
+let mc params samples seed min_gain min_pm =
+  let rng = Rng.create seed in
+  let results =
+    Montecarlo.run ~samples ~rng (fun r ->
+        Tb.evaluate_sampled ~spec:Variation.default_spec ~rng:r params)
+  in
+  if Array.length results = 0 then begin
+    prerr_endline "all samples failed";
+    1
+  end
+  else begin
+    let gains = Array.map (fun p -> p.Tb.gain_db) results in
+    let pms = Array.map (fun p -> p.Tb.phase_margin_deg) results in
+    let stats name xs =
+      let s = Yield_stats.Summary.of_array xs in
+      Printf.printf "%-6s mean %8.3f  sd %7.4f  min %8.3f  max %8.3f\n" name
+        (Yield_stats.Summary.mean s)
+        (Yield_stats.Summary.stddev s)
+        (Yield_stats.Summary.min_value s)
+        (Yield_stats.Summary.max_value s)
+    in
+    Printf.printf "%d successful samples\n" (Array.length results);
+    stats "gain" gains;
+    stats "pm" pms;
+    (match (min_gain, min_pm) with
+    | Some g, Some p ->
+        let spec = { Yield_target.min_gain_db = g; min_pm_deg = p } in
+        let est =
+          Montecarlo.yield_of
+            (fun r ->
+              Yield_target.meets spec ~gain_db:r.Tb.gain_db
+                ~pm_deg:r.Tb.phase_margin_deg)
+            results
+        in
+        Printf.printf "yield vs (gain>%.1f, pm>%.1f): %.1f %% (95%% CI %.1f-%.1f)\n"
+          g p
+          (100. *. est.Montecarlo.yield)
+          (100. *. est.Montecarlo.ci_low)
+          (100. *. est.Montecarlo.ci_high)
+    | _ -> ());
+    0
+  end
+
+let mc_cmd =
+  let gain =
+    Arg.(value & opt (some float) None & info [ "min-gain" ] ~docv:"DB" ~doc:"gain spec")
+  in
+  let pm =
+    Arg.(value & opt (some float) None & info [ "min-pm" ] ~docv:"DEG" ~doc:"phase-margin spec")
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc:"Monte Carlo analysis of one design")
+    Term.(const mc $ param_term $ samples_term 200 $ seed_term $ gain $ pm)
+
+(* ---------- optimize ---------- *)
+
+let optimize population generations seed out =
+  let config =
+    { Ga.default_config with Ga.population_size = population; generations }
+  in
+  let conditions = Tb.default_conditions in
+  let evaluate params =
+    match Tb.evaluate ~conditions (Ota.params_of_array params) with
+    | Some p when Tb.feasible conditions p -> Some (Tb.objectives p)
+    | Some _ | None -> None
+  in
+  let result =
+    Wbga.run ~config ~param_ranges:Ota.param_ranges
+      ~objectives:
+        [|
+          { Wbga.name = "gain"; maximise = true };
+          { Wbga.name = "pm"; maximise = true };
+        |]
+      ~rng:(Rng.create seed) ~evaluate ()
+  in
+  Printf.printf "%d evaluations, %d infeasible, front %d\n"
+    result.Wbga.evaluations result.Wbga.failures
+    (Array.length result.Wbga.front);
+  Array.iteri
+    (fun i (e : Wbga.entry) ->
+      if i mod (Stdlib.max 1 (Array.length result.Wbga.front / 25)) = 0 then
+        Printf.printf "gain %6.2f dB  pm %6.2f deg\n" e.Wbga.objectives.(0)
+          e.Wbga.objectives.(1))
+    result.Wbga.front;
+  (match out with
+  | Some path ->
+      let columns =
+        Array.append [| "gain"; "pm" |] (Array.map (fun (r : Yield_ga.Genome.range) -> r.Yield_ga.Genome.name) Ota.param_ranges)
+      in
+      let rows =
+        Array.map
+          (fun (e : Wbga.entry) -> Array.append e.Wbga.objectives e.Wbga.params)
+          result.Wbga.front
+      in
+      Yield_table.Tbl_io.write ~path (Yield_table.Tbl_io.create ~columns ~rows);
+      Printf.printf "front written to %s\n" path
+  | None -> ());
+  0
+
+let optimize_cmd =
+  let pop =
+    Arg.(value & opt int 100 & info [ "population" ] ~docv:"N" ~doc:"population size")
+  in
+  let gens =
+    Arg.(value & opt int 100 & info [ "generations" ] ~docv:"N" ~doc:"generation count")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"write the front as a .tbl file")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"run the WBGA multi-objective optimisation")
+    Term.(const optimize $ pop $ gens $ seed_term $ out)
+
+(* ---------- flow ---------- *)
+
+let flow fast topology out_dir =
+  let config = if fast then Config.fast_scale else Config.paper_scale in
+  let flow =
+    match topology with
+    | `Ota -> Flow.run ~log:print_endline config
+    | `Miller ->
+        let module Miller_flow = Flow.Make (Yield_circuits.Miller) in
+        let config =
+          {
+            config with
+            Config.conditions =
+              {
+                Yield_circuits.Testbench.default_conditions with
+                Yield_circuits.Testbench.min_unity_gain_hz = 5e6;
+              };
+          }
+        in
+        Miller_flow.run ~log:print_endline config
+  in
+  let written = Flow.save_tables flow ~dir:out_dir in
+  Printf.printf "front %d points, %d variation points\n"
+    (Array.length flow.Flow.front_points)
+    (Array.length flow.Flow.var_points);
+  Printf.printf "total simulations: %d (%.1f s)\n"
+    (Flow.total_sims flow.Flow.counts)
+    flow.Flow.timings.Flow.total_s;
+  List.iter (Printf.printf "wrote %s\n") written;
+  0
+
+let flow_cmd =
+  let fast = Arg.(value & flag & info [ "fast" ] ~doc:"reduced-scale run") in
+  let topology =
+    Arg.(
+      value
+      & opt (enum [ ("ota", `Ota); ("miller", `Miller) ]) `Ota
+      & info [ "topology" ] ~docv:"NAME" ~doc:"circuit topology (ota or miller)")
+  in
+  let out_dir =
+    Arg.(value & opt string "." & info [ "out-dir" ] ~docv:"DIR" ~doc:"where to write the model tables")
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"run the full model-generation flow (Figure 3)")
+    Term.(const flow $ fast $ topology $ out_dir)
+
+(* ---------- design ---------- *)
+
+let design tables_dir min_gain min_pm =
+  match Flow.load_models ~dir:tables_dir ~control:"3E" with
+  | exception Sys_error e ->
+      prerr_endline ("cannot load tables: " ^ e);
+      1
+  | perf, var -> begin
+      let model = Macromodel.create perf var in
+      let spec = { Yield_target.min_gain_db = min_gain; min_pm_deg = min_pm } in
+      match Yield_target.plan model spec with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok plan ->
+          let p = plan.Yield_target.proposal in
+          Printf.printf "variation at spec:  dGain %.2f %%, dPM %.2f %%\n"
+            p.Macromodel.gain_delta_pct p.Macromodel.pm_delta_pct;
+          Printf.printf "inflated targets:   gain %.2f dB, pm %.2f deg\n"
+            p.Macromodel.proposed_gain_db p.Macromodel.proposed_pm_deg;
+          Printf.printf "table design claim: gain %.2f dB, pm %.2f deg\n"
+            p.Macromodel.design.Perf_model.gain_db
+            p.Macromodel.design.Perf_model.pm_deg;
+          Array.iteri
+            (fun i name ->
+              Printf.printf "  %-3s = %s m\n" name
+                (Report.si p.Macromodel.design.Perf_model.params.(i)))
+            Ota.param_names;
+          Printf.printf "predicted yield: %.2f %%\n"
+            (100. *. Yield_target.predicted_yield plan);
+          0
+    end
+
+let design_cmd =
+  let gain =
+    Arg.(required & opt (some float) None & info [ "min-gain" ] ~docv:"DB" ~doc:"gain spec (dB)")
+  in
+  let pm =
+    Arg.(required & opt (some float) None & info [ "min-pm" ] ~docv:"DEG" ~doc:"phase-margin spec (deg)")
+  in
+  Cmd.v
+    (Cmd.info "design" ~doc:"yield-targeted design query against saved tables")
+    Term.(const design $ tables_dir_term $ gain $ pm)
+
+(* ---------- filter ---------- *)
+
+let filter_design gain_db rout seed =
+  let amp = { Filter.gain_db; rout } in
+  let r = Filter.optimise amp Filter.default_spec (Rng.create seed) in
+  Printf.printf "C1 = %sF, C2 = %sF, C3 = %sF\n"
+    (Report.si r.Filter.best.Filter.c1)
+    (Report.si r.Filter.best.Filter.c2)
+    (Report.si r.Filter.best.Filter.c3);
+  Printf.printf "passband margin %.2f dB, stopband margin %.2f dB (meets spec: %b)\n"
+    r.Filter.best_check.Filter.passband_margin_db
+    r.Filter.best_check.Filter.stopband_margin_db
+    r.Filter.best_check.Filter.meets_spec;
+  if r.Filter.best_check.Filter.meets_spec then 0 else 1
+
+let filter_cmd =
+  let gain =
+    Arg.(value & opt float 53. & info [ "gain" ] ~docv:"DB" ~doc:"OTA open-loop gain")
+  in
+  let rout =
+    Arg.(value & opt float 2e6 & info [ "rout" ] ~docv:"OHM" ~doc:"OTA output resistance")
+  in
+  Cmd.v
+    (Cmd.info "filter" ~doc:"design the Section 5 anti-aliasing filter")
+    Term.(const filter_design $ gain $ rout $ seed_term)
+
+(* ---------- step ---------- *)
+
+let step params amplitude =
+  match Tb.step_perf ~amplitude params with
+  | None ->
+      prerr_endline "step response failed";
+      1
+  | Some s ->
+      Printf.printf "slew rate      %8.2f V/us\n" s.Tb.slew_v_per_us;
+      Printf.printf "1%% settling    %8s\n"
+        (match s.Tb.settling_1pct_s with
+        | Some t -> Report.si t ^ "s"
+        | None -> "not reached");
+      Printf.printf "overshoot      %8.2f %%\n" s.Tb.overshoot_pct;
+      Printf.printf "follower error %8.2f mV\n" (1e3 *. s.Tb.final_error_v);
+      0
+
+let step_cmd =
+  let amplitude =
+    Arg.(value & opt float 0.5 & info [ "amplitude" ] ~docv:"V" ~doc:"input step size")
+  in
+  Cmd.v
+    (Cmd.info "step" ~doc:"unity-gain follower step response (transient)")
+    Term.(const step $ param_term $ amplitude)
+
+(* ---------- noise ---------- *)
+
+let noise params =
+  match Tb.input_referred_noise params with
+  | None ->
+      prerr_endline "noise analysis failed";
+      1
+  | Some (pairs, rms) ->
+      Printf.printf "input-referred noise (to the unity-gain frequency): %.2f uVrms\n"
+        (rms *. 1e6);
+      Array.iteri
+        (fun i (f, psd) ->
+          if i mod 8 = 0 then
+            Printf.printf "  %8sHz  %10.2f nV/rtHz\n" (Report.si f)
+              (sqrt psd *. 1e9))
+        pairs;
+      0
+
+let noise_cmd =
+  Cmd.v
+    (Cmd.info "noise" ~doc:"input-referred noise of a design")
+    Term.(const noise $ param_term)
+
+(* ---------- sensitivity ---------- *)
+
+let sensitivity params =
+  let spec = Variation.default_spec in
+  let run name eval =
+    match Yield_process.Sensitivity.analyse ~spec ~eval with
+    | Error e ->
+        Printf.printf "%s: %s\n" name e;
+        1
+    | Ok results ->
+        Printf.printf "%s variance decomposition:\n" name;
+        List.iter
+          (fun (r : Yield_process.Sensitivity.result) ->
+            Printf.printf "  %-7s %5.1f %%  (%+.4g per sigma)\n"
+              (Yield_process.Sensitivity.to_string
+                 r.Yield_process.Sensitivity.component)
+              (100. *. r.Yield_process.Sensitivity.variance_share)
+              r.Yield_process.Sensitivity.per_sigma)
+          results;
+        0
+  in
+  let gain_eval draw =
+    Option.map (fun p -> p.Tb.gain_db) (Tb.evaluate_with_draw ~spec ~draw params)
+  in
+  let pm_eval draw =
+    Option.map
+      (fun p -> p.Tb.phase_margin_deg)
+      (Tb.evaluate_with_draw ~spec ~draw params)
+  in
+  let a = run "gain" gain_eval in
+  let b = run "phase margin" pm_eval in
+  if a = 0 && b = 0 then 0 else 1
+
+let sensitivity_cmd =
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc:"global-variation sensitivity of a design")
+    Term.(const sensitivity $ param_term)
+
+(* ---------- export-va ---------- *)
+
+let export_va tables_dir out_dir =
+  match Flow.load_models ~dir:tables_dir ~control:"3E" with
+  | exception Sys_error e ->
+      prerr_endline ("cannot load tables: " ^ e);
+      1
+  | perf, var ->
+      let model = Macromodel.create perf var in
+      let written = Yield_behavioural.Verilog_a.save model ~dir:out_dir in
+      List.iter (Printf.printf "wrote %s\n") written;
+      0
+
+let export_va_cmd =
+  let out_dir =
+    Arg.(value & opt string "." & info [ "out-dir" ] ~docv:"DIR" ~doc:"output directory")
+  in
+  Cmd.v
+    (Cmd.info "export-va"
+       ~doc:"emit the Verilog-A behavioural module and its table files")
+    Term.(const export_va $ tables_dir_term $ out_dir)
+
+(* ---------- netlist ---------- *)
+
+let run_analysis circuit op analysis =
+  match analysis with
+  | Netlist.Op -> Format.printf "%a@." (Dcop.pp circuit) op
+  | Netlist.Ac_analysis { per_decade; f_lo; f_hi; out } ->
+      let freqs =
+        Yield_spice.Ac.default_freqs ~per_decade ~f_lo ~f_hi ()
+      in
+      let bode = Yield_spice.Ac.transfer_by_name circuit op ~out ~freqs in
+      let mags = Yield_spice.Measure.magnitudes_db bode in
+      let phases = Yield_spice.Measure.phases_deg_unwrapped bode in
+      Printf.printf "* ac analysis: v(%s)\n" out;
+      Printf.printf "%-12s %-12s %-12s\n" "freq" "mag_db" "phase_deg";
+      Array.iteri
+        (fun i f -> Printf.printf "%-12.5g %-12.4f %-12.3f\n" f mags.(i) phases.(i))
+        freqs
+  | Netlist.Tran_analysis { dt; t_stop; out } -> begin
+      match Yield_spice.Tran.run (Yield_spice.Tran.options ~t_stop ~dt ()) circuit with
+      | Error e -> prerr_endline (Yield_spice.Tran.error_to_string e)
+      | Ok result ->
+          let v = Yield_spice.Tran.voltage_by_name result circuit out in
+          Printf.printf "* tran analysis: v(%s)\n" out;
+          Printf.printf "%-12s %-12s\n" "time" "volts";
+          Array.iteri
+            (fun i t -> Printf.printf "%-12.5g %-12.6g\n" t v.(i))
+            result.Yield_spice.Tran.times
+    end
+  | Netlist.Dc_analysis { source; start; stop; step; out } -> begin
+      let n =
+        Stdlib.max 2 (1 + int_of_float (Float.round ((stop -. start) /. step)))
+      in
+      let values = Yield_numeric.Vec.linspace start stop n in
+      match Yield_spice.Dcsweep.run circuit ~source ~values with
+      | Error e -> prerr_endline (Dcop.error_to_string e)
+      | Ok sweep ->
+          let v = Yield_spice.Dcsweep.voltage_by_name sweep circuit out in
+          Printf.printf "* dc sweep of %s: v(%s)\n" source out;
+          Printf.printf "%-12s %-12s\n" source out;
+          Array.iteri
+            (fun i x -> Printf.printf "%-12.6g %-12.6g\n" x v.(i))
+            values
+    end
+
+let netlist_run path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e ->
+      prerr_endline e;
+      1
+  | text -> begin
+      match Netlist.parse_with_analyses text with
+      | exception Netlist.Parse_error { line; message } ->
+          Printf.eprintf "%s:%d: %s\n" path line message;
+          1
+      | circuit, analyses -> begin
+          match Dcop.solve circuit with
+          | Error e ->
+              prerr_endline (Dcop.error_to_string e);
+              1
+          | Ok op ->
+              (* the operating point is always reported; analysis cards run
+                 in order afterwards *)
+              if analyses = [] then Format.printf "%a@." (Dcop.pp circuit) op
+              else List.iter (run_analysis circuit op) analyses;
+              0
+        end
+    end
+
+let netlist_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"netlist file")
+  in
+  Cmd.v
+    (Cmd.info "netlist" ~doc:"parse a netlist and print its DC operating point")
+    Term.(const netlist_run $ path)
+
+(* ---------- main ---------- *)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "yieldlab" ~version:"1.0.0"
+      ~doc:"combined performance and yield behavioural models for analogue ICs"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            ota_eval_cmd;
+            miller_eval_cmd;
+            corners_cmd;
+            mc_cmd;
+            optimize_cmd;
+            flow_cmd;
+            design_cmd;
+            filter_cmd;
+            step_cmd;
+            noise_cmd;
+            sensitivity_cmd;
+            export_va_cmd;
+            netlist_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/filter_design.mli:

@@ -1,0 +1,1 @@
+examples/ota_design.ml: Array List Printf Sys Yield_behavioural Yield_circuits Yield_core Yield_process Yield_spice

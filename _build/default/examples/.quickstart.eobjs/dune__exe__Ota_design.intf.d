@@ -1,0 +1,1 @@
+examples/ota_design.mli:

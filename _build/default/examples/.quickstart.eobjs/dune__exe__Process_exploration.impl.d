@@ -1,0 +1,1 @@
+examples/process_exploration.ml: Array List Printf String Yield_circuits Yield_process Yield_spice Yield_stats

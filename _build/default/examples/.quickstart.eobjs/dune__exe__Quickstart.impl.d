@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Yield_behavioural Yield_circuits Yield_core Yield_ga

@@ -1,0 +1,59 @@
+(* Quickstart: evaluate an OTA, build a small behavioural model, and ask it
+   for a yield-targeted design.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Ota = Yield_circuits.Ota
+module Tb = Yield_circuits.Ota_testbench
+module Config = Yield_core.Config
+module Flow = Yield_core.Flow
+module Experiments = Yield_core.Experiments
+module Yield_target = Yield_behavioural.Yield_target
+module Macromodel = Yield_behavioural.Macromodel
+module Perf_model = Yield_behavioural.Perf_model
+module Ga = Yield_ga.Ga
+
+let () =
+  (* 1. a single transistor-level evaluation: the objective function *)
+  let params = Ota.default_params in
+  (match Tb.evaluate params with
+  | Some perf ->
+      Printf.printf "default OTA: gain %.2f dB, phase margin %.2f deg\n"
+        perf.Tb.gain_db perf.Tb.phase_margin_deg
+  | None -> print_endline "default OTA failed to bias");
+
+  (* 2. a small run of the full flow: WBGA optimisation, Pareto front,
+     Monte Carlo variation model, behavioural tables *)
+  let config =
+    {
+      Config.fast_scale with
+      Config.ga = { Ga.default_config with Ga.population_size = 30; generations = 20 };
+      mc_samples = 20;
+      front_stride = 2;
+    }
+  in
+  print_endline "building the behavioural model (reduced scale)...";
+  let flow = Flow.run ~log:(fun s -> print_endline ("  " ^ s)) config in
+
+  (* 3. query the model: what design gives gain/PM with maximum yield? *)
+  let spec = Experiments.spec_for_flow flow in
+  Printf.printf "specification: gain > %.0f dB, PM > %.0f deg\n"
+    spec.Yield_target.min_gain_db spec.Yield_target.min_pm_deg;
+  match Flow.design_for_spec flow spec with
+  | Error e -> print_endline ("no design: " ^ e)
+  | Ok plan ->
+      let d = plan.Yield_target.proposal.Macromodel.design in
+      Printf.printf
+        "model proposes gain %.2f dB / PM %.2f deg after variation inflation\n"
+        plan.Yield_target.proposal.Macromodel.proposed_gain_db
+        plan.Yield_target.proposal.Macromodel.proposed_pm_deg;
+      Array.iteri
+        (fun i name -> Printf.printf "  %-3s = %.3g um\n" name (d.Perf_model.params.(i) *. 1e6))
+        Ota.param_names;
+      (* 4. verify the answer at transistor level *)
+      let ota = Ota.params_of_array d.Perf_model.params in
+      (match Tb.evaluate ota with
+      | Some perf ->
+          Printf.printf "transistor check: gain %.2f dB, PM %.2f deg\n"
+            perf.Tb.gain_db perf.Tb.phase_margin_deg
+      | None -> print_endline "transistor check failed")

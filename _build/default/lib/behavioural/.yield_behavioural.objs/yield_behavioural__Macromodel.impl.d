@@ -1,0 +1,1 @@
+lib/behavioural/macromodel.ml: Array Complex Float Perf_model Printf Var_model Yield_circuits Yield_spice Yield_table

@@ -1,0 +1,1 @@
+lib/behavioural/macromodel.mli: Perf_model Var_model Yield_circuits Yield_spice

@@ -1,0 +1,1 @@
+lib/behavioural/perf_model.ml: Array Float List Yield_table

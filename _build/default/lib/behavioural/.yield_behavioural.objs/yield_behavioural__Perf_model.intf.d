@@ -1,0 +1,1 @@
+lib/behavioural/perf_model.mli: Yield_table

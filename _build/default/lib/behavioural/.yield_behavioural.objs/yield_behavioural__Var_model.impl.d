@@ -1,0 +1,1 @@
+lib/behavioural/var_model.ml: Array Float Fun List Yield_table

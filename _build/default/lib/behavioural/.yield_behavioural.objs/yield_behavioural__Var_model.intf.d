@@ -1,0 +1,1 @@
+lib/behavioural/var_model.mli: Yield_table

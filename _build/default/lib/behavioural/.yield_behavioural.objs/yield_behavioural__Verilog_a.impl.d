@@ -1,0 +1,1 @@
+lib/behavioural/verilog_a.ml: Array Buffer Filename Fun List Macromodel Perf_model Printf Var_model Yield_table

@@ -1,0 +1,1 @@
+lib/behavioural/verilog_a.mli: Macromodel Yield_table

@@ -1,0 +1,1 @@
+lib/behavioural/yield_target.ml: Macromodel Yield_stats

@@ -1,0 +1,82 @@
+module Circuit = Yield_spice.Circuit
+module Ac = Yield_spice.Ac
+module Table1d = Yield_table.Table1d
+module Filter = Yield_circuits.Filter
+
+type t = { perf : Perf_model.t; var : Var_model.t }
+
+let create perf var = { perf; var }
+
+let perf_model t = t.perf
+
+let var_model t = t.var
+
+type proposal = {
+  requested_gain_db : float;
+  requested_pm_deg : float;
+  gain_delta_pct : float;
+  pm_delta_pct : float;
+  proposed_gain_db : float;
+  proposed_pm_deg : float;
+  design : Perf_model.point;
+}
+
+let propose t ~gain_db ~pm_deg =
+  match
+    let gain_delta_pct = Var_model.dgain_at t.var ~gain_db in
+    let pm_delta_pct = Var_model.dpm_at t.var ~pm_deg in
+    (* the Verilog-A module body: prop = ((delta/100)*x) + x *)
+    let proposed_gain_db = (gain_delta_pct /. 100. *. gain_db) +. gain_db in
+    let proposed_pm_deg = (pm_delta_pct /. 100. *. pm_deg) +. pm_deg in
+    let design =
+      Perf_model.lookup t.perf ~gain_db:proposed_gain_db ~pm_deg:proposed_pm_deg
+    in
+    {
+      requested_gain_db = gain_db;
+      requested_pm_deg = pm_deg;
+      gain_delta_pct;
+      pm_delta_pct;
+      proposed_gain_db;
+      proposed_pm_deg;
+      design;
+    }
+  with
+  | proposal -> Ok proposal
+  | exception Table1d.Out_of_range { value; lo; hi } ->
+      Error
+        (Printf.sprintf
+           "macromodel: %g outside the model range [%g, %g] (no extrapolation)"
+           value lo hi)
+
+let amp_of_design (design : Perf_model.point) =
+  { Filter.gain_db = design.Perf_model.gain_db; rout = design.Perf_model.rout }
+
+let add_to_circuit t circuit ~name ~gain_db ~pm_deg ~inp ~out =
+  match propose t ~gain_db ~pm_deg with
+  | Error _ as e -> e
+  | Ok proposal ->
+      let a = 10. ** (proposal.design.Perf_model.gain_db /. 20.) in
+      let ro = proposal.design.Perf_model.rout in
+      Circuit.add_vccs circuit ~name:(name ^ ".G") ~out_p:out ~out_n:"0"
+        ~in_p:inp ~in_n:"0" (a /. ro);
+      Circuit.add_resistor circuit ~name:(name ^ ".RO") out "0" ro;
+      Ok proposal
+
+let bode ?(f_lo = 10.) ?(f_hi = 1e9) ?(per_decade = 10) ~gain_db ~rout
+    ~load_cap () =
+  let freqs = Ac.default_freqs ~per_decade ~f_lo ~f_hi () in
+  let a = 10. ** (gain_db /. 20.) in
+  let fp = 1. /. (2. *. Float.pi *. rout *. load_cap) in
+  let response =
+    Array.map
+      (fun f ->
+        (* A / (1 + j f/fp): the single dominant pole from ro and the load.
+           Reported non-inverting to match the testbench convention (the
+           transistor measurement drives the non-inverting input), so the
+           phase-margin arithmetic applies directly. *)
+        Complex.div
+          { Complex.re = a; im = 0. }
+          { Complex.re = 1.; im = f /. fp })
+      freqs
+  in
+  { Ac.freqs; response }

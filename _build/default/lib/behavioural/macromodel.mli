@@ -1,0 +1,51 @@
+(** The combined performance + variation behavioural model — the OCaml
+    equivalent of the paper's §4.4 Verilog-A module.
+
+    Given a requested performance, the model:
+    + looks up the expected variation at that performance
+      ([gain_delta]/[pm_delta] tables),
+    + inflates the request to the {e proposed} performance that still meets
+      it at the variation extreme
+      ([gain_prop = gain + gain*delta/100], likewise for PM),
+    + interpolates the designable parameters realising the proposal
+      ([lp_i] tables), and
+    + provides the output-stage realisation
+      [V(out) <+ -A*V(inp) - I(out)*ro] for system-level simulation. *)
+
+type t
+
+val create : Perf_model.t -> Var_model.t -> t
+
+val perf_model : t -> Perf_model.t
+
+val var_model : t -> Var_model.t
+
+type proposal = {
+  requested_gain_db : float;
+  requested_pm_deg : float;
+  gain_delta_pct : float;  (** interpolated variation at the request *)
+  pm_delta_pct : float;
+  proposed_gain_db : float;  (** the inflated targets *)
+  proposed_pm_deg : float;
+  design : Perf_model.point;  (** parameters realising the proposal *)
+}
+
+val propose : t -> gain_db:float -> pm_deg:float -> (proposal, string) result
+(** Table 3's procedure.  [Error] when the request or its inflation falls
+    outside the model tables (no extrapolation, per the ["3E"] controls). *)
+
+val amp_of_design : Perf_model.point -> Yield_circuits.Filter.amp
+(** The behavioural amplifier (gain + output resistance) for the filter
+    application. *)
+
+val add_to_circuit :
+  t -> Yield_spice.Circuit.t -> name:string -> gain_db:float -> pm_deg:float ->
+  inp:string -> out:string -> (proposal, string) result
+(** Instantiate the behavioural OTA output stage into a circuit: a VCCS of
+    [A/ro] with a shunt [ro], per the Verilog-A listing. *)
+
+val bode :
+  ?f_lo:float -> ?f_hi:float -> ?per_decade:int ->
+  gain_db:float -> rout:float -> load_cap:float -> unit -> Yield_spice.Ac.bode
+(** The behavioural model's own frequency response (single dominant pole
+    from [ro] and the load): the "Verilog-A model" curve of Figure 8. *)

@@ -1,0 +1,187 @@
+module Curve = Yield_table.Curve
+module Control = Yield_table.Control
+module Table1d = Yield_table.Table1d
+module Tbl_io = Yield_table.Tbl_io
+
+type point = {
+  gain_db : float;
+  pm_deg : float;
+  params : float array;
+  rout : float;
+  unity_gain_hz : float;
+}
+
+let n_params = 8
+
+let param_column_names = [| "w1"; "l1"; "w2"; "l2"; "w3"; "l3"; "w4"; "l4" |]
+
+type t = {
+  points : point array;  (* sorted by gain, deduplicated *)
+  curve : Curve.t;  (* (gain, pm) -> params/rout/fu columns *)
+  pm_of_gain : Table1d.t;
+}
+
+let create ?(control = "3E") points =
+  Array.iter
+    (fun p ->
+      if Array.length p.params <> n_params then
+        invalid_arg "Perf_model.create: need 8 parameters per point")
+    points;
+  let sorted = Array.copy points in
+  Array.sort
+    (fun a b ->
+      match Float.compare a.gain_db b.gain_db with
+      | 0 -> Float.compare a.pm_deg b.pm_deg
+      | c -> c)
+    sorted;
+  (* merge coincident performance points (duplicate GA individuals) *)
+  let deduped = ref [] in
+  Array.iter
+    (fun p ->
+      match !deduped with
+      | q :: _ when q.gain_db = p.gain_db && q.pm_deg = p.pm_deg -> ()
+      | _ -> deduped := p :: !deduped)
+    sorted;
+  let points = Array.of_list (List.rev !deduped) in
+  if Array.length points < 2 then
+    invalid_arg "Perf_model.create: need at least two distinct points";
+  let axis =
+    match Control.parse control with
+    | a :: _ -> a
+    | [] -> Control.default_axis
+  in
+  let inputs = Array.map (fun p -> [| p.gain_db; p.pm_deg |]) points in
+  let columns =
+    List.init n_params (fun j ->
+        (param_column_names.(j), Array.map (fun p -> p.params.(j)) points))
+    @ [
+        ("rout", Array.map (fun p -> p.rout) points);
+        ("fu", Array.map (fun p -> p.unity_gain_hz) points);
+        (* the performance coordinates themselves, so a lookup can report
+           the performance of the table point it actually used *)
+        ("gain", Array.map (fun p -> p.gain_db) points);
+        ("pm", Array.map (fun p -> p.pm_deg) points);
+      ]
+  in
+  let curve = Curve.create ~control:axis ~inputs ~columns () in
+  let pm_of_gain =
+    Table1d.of_unsorted ~control:axis
+      (Array.map (fun p -> (p.gain_db, p.pm_deg)) points)
+  in
+  { points; curve; pm_of_gain }
+
+let size t = Array.length t.points
+
+let points t = Array.copy t.points
+
+let gain_range t =
+  let n = Array.length t.points in
+  (t.points.(0).gain_db, t.points.(n - 1).gain_db)
+
+let pm_range t =
+  Array.fold_left
+    (fun (lo, hi) p -> (Float.min lo p.pm_deg, Float.max hi p.pm_deg))
+    (infinity, neg_infinity) t.points
+
+let pm_at_gain t gain = Table1d.eval t.pm_of_gain gain
+
+(* Table 1 spans, used to normalise parameter distances between adjacent
+   front designs. *)
+let param_spans = [| 50e-6; 3.65e-6; 50e-6; 3.65e-6; 50e-6; 3.65e-6; 50e-6; 3.65e-6 |]
+
+let columns_at t arc =
+  let get name = Curve.eval_at_arc t.curve name arc in
+  ( Array.map get param_column_names,
+    get "rout",
+    get "fu" )
+
+(* Interpolating designable parameters between two Pareto designs is only
+   meaningful when the two designs are parametrically close; a Pareto front
+   stitches together unrelated design "families", and blending across a
+   family boundary yields a design realising neither performance.  When the
+   bracketing knots differ by more than [snap_threshold] (rms of the
+   Table 1-normalised parameter differences), snap to the nearer knot. *)
+let snap_threshold = 0.15
+
+let lookup ?(guard = true) t ~gain_db ~pm_deg =
+  let q = [| gain_db; pm_deg |] in
+  let arc, _distance = Curve.project t.curve q in
+  let arcs = Curve.knot_arcs t.curve in
+  let i, j, u = Curve.bracket t.curve arc in
+  let params_i, _, _ = columns_at t arcs.(i) in
+  let params_j, _, _ = columns_at t arcs.(j) in
+  let family_distance =
+    let acc = ref 0. in
+    Array.iteri
+      (fun k a ->
+        let d = (a -. params_j.(k)) /. param_spans.(k) in
+        acc := !acc +. (d *. d))
+      params_i;
+    sqrt (!acc /. float_of_int (Array.length params_i))
+  in
+  let arc_used =
+    if (not guard) || family_distance <= snap_threshold then arc
+    else begin
+      (* snapping must not betray the caller's requirement: prefer the
+         bracketing design that meets the requested (gain, pm); fall back to
+         the nearer one when neither or both do *)
+      let meets a =
+        Curve.eval_at_arc t.curve "gain" a >= gain_db -. 1e-9
+        && Curve.eval_at_arc t.curve "pm" a >= pm_deg -. 1e-9
+      in
+      match (meets arcs.(i), meets arcs.(j)) with
+      | true, false -> arcs.(i)
+      | false, true -> arcs.(j)
+      | true, true -> if u < 0.5 then arcs.(i) else arcs.(j)
+      | false, false ->
+          (* the request is off the front; keep at least the gain
+             requirement (the paper's primary spec) when one bracket can *)
+          let gain_at a = Curve.eval_at_arc t.curve "gain" a in
+          if gain_at arcs.(j) >= gain_db -. 1e-9 then arcs.(j)
+          else if gain_at arcs.(i) >= gain_db -. 1e-9 then arcs.(i)
+          else if u < 0.5 then arcs.(i)
+          else arcs.(j)
+    end
+  in
+  let params, rout, fu = columns_at t arc_used in
+  (* performance read back from the table at the point actually used *)
+  let gain_used = Curve.eval_at_arc t.curve "gain" arc_used in
+  let pm_used = Curve.eval_at_arc t.curve "pm" arc_used in
+  {
+    gain_db = gain_used;
+    pm_deg = pm_used;
+    params;
+    rout;
+    unity_gain_hz = fu;
+  }
+
+let to_table t =
+  let columns =
+    Array.append [| "gain"; "pm" |] (Array.append param_column_names [| "rout"; "fu" |])
+  in
+  let rows =
+    Array.map
+      (fun p ->
+        Array.concat
+          [ [| p.gain_db; p.pm_deg |]; p.params; [| p.rout; p.unity_gain_hz |] ])
+      t.points
+  in
+  Tbl_io.create ~columns ~rows
+
+let of_table ?control table =
+  let gain = Tbl_io.column table "gain" in
+  let pm = Tbl_io.column table "pm" in
+  let params = Array.map (Tbl_io.column table) param_column_names in
+  let rout = Tbl_io.column table "rout" in
+  let fu = Tbl_io.column table "fu" in
+  let points =
+    Array.init (Array.length gain) (fun i ->
+        {
+          gain_db = gain.(i);
+          pm_deg = pm.(i);
+          params = Array.map (fun col -> col.(i)) params;
+          rout = rout.(i);
+          unity_gain_hz = fu.(i);
+        })
+  in
+  create ?control points

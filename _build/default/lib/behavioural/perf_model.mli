@@ -1,0 +1,57 @@
+(** The performance model (§3.3): the Pareto-optimal designs stored as
+    look-up tables from performance values to designable parameters.
+
+    Each Pareto point carries its objectives (gain, phase margin), its eight
+    designable parameters, and the auxiliary small-signal quantities the
+    behavioural realisation needs (output resistance, unity-gain frequency).
+    Parameters are interpolated along the front curve with cubic splines and
+    no extrapolation — the paper's ["3E,3E"] two-input [$table_model]s. *)
+
+type point = {
+  gain_db : float;
+  pm_deg : float;
+  params : float array;  (** 8 designable parameters, metres *)
+  rout : float;
+  unity_gain_hz : float;
+}
+
+type t
+
+val create : ?control:string -> point array -> t
+(** Builds the lookup tables; points are sorted by gain and coincident
+    duplicates merged.  Default control ["3E"].
+    @raise Invalid_argument with fewer than 2 distinct points. *)
+
+val size : t -> int
+(** Number of distinct table points. *)
+
+val points : t -> point array
+(** The (sorted, deduplicated) model points. *)
+
+val gain_range : t -> float * float
+
+val pm_range : t -> float * float
+
+val pm_at_gain : t -> float -> float
+(** The front curve itself: phase margin attainable at a given gain.
+    @raise Yield_table.Table1d.Out_of_range outside the model range. *)
+
+val lookup : ?guard:bool -> t -> gain_db:float -> pm_deg:float -> point
+(** The [lp_i = $table_model(gain_prop, pm_prop, ...)] step: interpolate the
+    design for a performance query, projecting onto the front curve.
+
+    Parameters are interpolated between the two bracketing Pareto designs
+    only when those designs are parametrically close (same design family);
+    across a family boundary the lookup snaps to the nearer design instead —
+    blending unrelated designs realises neither performance.  The returned
+    point's [gain_db]/[pm_deg] are the table's values at the point actually
+    used, which is what the behavioural model claims for the design.
+    [guard:false] disables the family guard and always interpolates (the
+    paper's raw [$table_model] behaviour).
+    @raise Yield_table.Table1d.Out_of_range outside the model range. *)
+
+val to_table : t -> Yield_table.Tbl_io.table
+(** Columns: gain pm w1 l1 w2 l2 w3 l3 w4 l4 rout fu. *)
+
+val of_table : ?control:string -> Yield_table.Tbl_io.table -> t
+(** @raise Not_found if required columns are missing. *)

@@ -1,0 +1,21 @@
+(** Verilog-A emission: render the combined behavioural model as the
+    Verilog-A module of the paper's §4.4 listing, together with the [.tbl]
+    data files its [$table_model] calls reference.
+
+    The emitted module is textual output for use in a Verilog-A capable
+    simulator; this library's own simulations use {!Macromodel} directly. *)
+
+val module_text : ?name:string -> control:string -> unit -> string
+(** The module source (default name ["ota_behavioural"]): variation lookup,
+    performance proposal, parameter interpolation and the output stage
+    [V(out) <+ -gain * V(inp) - I(out) * ro], mirroring the paper line for
+    line.  [control] is the table-model control string (["3E"]). *)
+
+val data_files : Macromodel.t -> (string * Yield_table.Tbl_io.table) list
+(** The tables the module references: [gain_delta.tbl], [pm_delta.tbl] and
+    [lp1_data.tbl] .. [lp8_data.tbl] (performance to designable-parameter
+    maps), plus [ro_data.tbl] for the output stage. *)
+
+val save : ?name:string -> ?control:string -> Macromodel.t -> dir:string -> string list
+(** Write the module ([<name>.va]) and every data file into [dir]; returns
+    the paths written. *)

@@ -1,0 +1,62 @@
+type spec = { min_gain_db : float; min_pm_deg : float }
+
+type plan = {
+  spec : spec;
+  proposal : Macromodel.proposal;
+  worst_case_gain_db : float;
+  worst_case_pm_deg : float;
+}
+
+let plan model spec =
+  match
+    Macromodel.propose model ~gain_db:spec.min_gain_db ~pm_deg:spec.min_pm_deg
+  with
+  | Error _ as e -> e
+  | Ok proposal ->
+      (* the spread is symmetric: the proposed (inflated) performance may
+         fall by its own variation and must still clear the spec *)
+      let wc_gain =
+        proposal.Macromodel.proposed_gain_db
+        *. (1. -. (proposal.Macromodel.gain_delta_pct /. 100.))
+      in
+      let wc_pm =
+        proposal.Macromodel.proposed_pm_deg
+        *. (1. -. (proposal.Macromodel.pm_delta_pct /. 100.))
+      in
+      Ok
+        {
+          spec;
+          proposal;
+          worst_case_gain_db = wc_gain;
+          worst_case_pm_deg = wc_pm;
+        }
+
+let meets spec ~gain_db ~pm_deg =
+  gain_db >= spec.min_gain_db && pm_deg >= spec.min_pm_deg
+
+(* The variation envelope is 3 sigma; if the worst case clears the spec the
+   normal-tail failure probability is below phi(-3) per objective. *)
+let predicted_yield p =
+  let tail margin_sigma =
+    Yield_stats.Dist.normal_cdf ~mean:0. ~sigma:1. margin_sigma
+  in
+  let sigma_gain =
+    p.proposal.Macromodel.proposed_gain_db
+    *. p.proposal.Macromodel.gain_delta_pct /. 100. /. 3.
+  in
+  let sigma_pm =
+    p.proposal.Macromodel.proposed_pm_deg
+    *. p.proposal.Macromodel.pm_delta_pct /. 100. /. 3.
+  in
+  let z_gain =
+    if sigma_gain <= 0. then infinity
+    else
+      (p.proposal.Macromodel.proposed_gain_db -. p.spec.min_gain_db)
+      /. sigma_gain
+  in
+  let z_pm =
+    if sigma_pm <= 0. then infinity
+    else
+      (p.proposal.Macromodel.proposed_pm_deg -. p.spec.min_pm_deg) /. sigma_pm
+  in
+  tail z_gain *. tail z_pm

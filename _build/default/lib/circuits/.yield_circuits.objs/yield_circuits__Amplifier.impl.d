@@ -1,0 +1,1 @@
+lib/circuits/amplifier.ml: Yield_ga Yield_process Yield_spice

@@ -1,0 +1,1 @@
+lib/circuits/amplifier.mli: Yield_ga Yield_process Yield_spice

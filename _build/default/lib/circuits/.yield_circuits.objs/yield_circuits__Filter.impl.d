@@ -1,0 +1,1 @@
+lib/circuits/filter.ml: Array Float Lazy Ota Yield_ga Yield_process Yield_spice

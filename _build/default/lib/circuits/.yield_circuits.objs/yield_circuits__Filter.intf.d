@@ -1,0 +1,1 @@
+lib/circuits/filter.mli: Ota Yield_ga Yield_process Yield_spice Yield_stats

@@ -1,0 +1,1 @@
+lib/circuits/miller.ml: Array String Yield_ga Yield_process Yield_spice

@@ -1,0 +1,1 @@
+lib/circuits/miller.mli: Yield_ga Yield_process Yield_spice

@@ -1,0 +1,1 @@
+lib/circuits/miller_testbench.ml: Miller Testbench

@@ -1,0 +1,1 @@
+lib/circuits/miller_testbench.mli: Miller Testbench Yield_process Yield_spice Yield_stats

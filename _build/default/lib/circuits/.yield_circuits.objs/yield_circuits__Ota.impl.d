@@ -1,0 +1,1 @@
+lib/circuits/ota.ml: Array Float String Yield_ga Yield_process Yield_spice

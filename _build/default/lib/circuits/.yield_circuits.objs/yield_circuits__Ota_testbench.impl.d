@@ -1,0 +1,1 @@
+lib/circuits/ota_testbench.ml: Ota Testbench Yield_process

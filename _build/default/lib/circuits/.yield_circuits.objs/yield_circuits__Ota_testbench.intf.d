@@ -1,0 +1,1 @@
+lib/circuits/ota_testbench.mli: Ota Testbench Yield_process Yield_spice Yield_stats

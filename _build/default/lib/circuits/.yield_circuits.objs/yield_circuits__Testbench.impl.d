@@ -1,0 +1,1 @@
+lib/circuits/testbench.ml: Amplifier Array Float List Option Yield_process Yield_spice Yield_stats

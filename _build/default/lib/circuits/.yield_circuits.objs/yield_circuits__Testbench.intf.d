@@ -1,0 +1,1 @@
+lib/circuits/testbench.mli: Amplifier Yield_process Yield_spice Yield_stats

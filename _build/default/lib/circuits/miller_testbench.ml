@@ -1,0 +1,1 @@
+include Testbench.Make (Miller)

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Float Printf Unix Yield_behavioural Yield_circuits Yield_ga Yield_process Yield_stats

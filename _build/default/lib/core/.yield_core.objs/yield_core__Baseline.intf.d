@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Yield_behavioural Yield_circuits Yield_process

@@ -1,0 +1,1 @@
+lib/core/config.ml: Sys Yield_circuits Yield_ga Yield_process

@@ -1,0 +1,1 @@
+lib/core/config.mli: Yield_circuits Yield_ga Yield_process

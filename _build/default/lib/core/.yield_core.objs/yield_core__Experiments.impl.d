@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Baseline Buffer Config Float Flow Hashtbl List Printf Report Stdlib Yield_behavioural Yield_circuits Yield_ga Yield_process Yield_spice Yield_stats

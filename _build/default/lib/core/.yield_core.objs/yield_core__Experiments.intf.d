@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Config Flow Yield_behavioural

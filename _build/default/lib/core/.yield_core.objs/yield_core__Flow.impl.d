@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Atomic Config Filename List Printf Stdlib Unix Yield_behavioural Yield_circuits Yield_ga Yield_process Yield_stats Yield_table

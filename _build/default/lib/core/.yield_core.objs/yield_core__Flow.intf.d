@@ -1,0 +1,1 @@
+lib/core/flow.mli: Config Yield_behavioural Yield_circuits Yield_ga Yield_process

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Float List Printf Stdlib String

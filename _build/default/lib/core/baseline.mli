@@ -1,0 +1,33 @@
+(** The conventional simulation-based comparison point (paper §1, §4.4 and
+    ref [5]): design-for-yield by putting the Monte Carlo analysis {e inside}
+    the optimisation loop — every candidate pays for a statistical simulation,
+    and nothing is reusable for the next specification. *)
+
+type config = {
+  conditions : Yield_circuits.Ota_testbench.conditions;
+  variation : Yield_process.Variation.spec;
+  spec : Yield_behavioural.Yield_target.spec;
+  population : int;
+  generations : int;
+  inner_mc : int;  (** MC samples per candidate evaluation *)
+  seed : int;
+}
+
+val default_config : Yield_behavioural.Yield_target.spec -> config
+(** 30 x 30 GA with 20 inner MC samples. *)
+
+type t = {
+  best_params : Yield_circuits.Ota.params;
+  best_yield : float;  (** inner-loop estimate for the best candidate *)
+  nominal : Yield_circuits.Ota_testbench.perf option;
+  sims : int;  (** total transistor-level simulations spent *)
+  wall_s : float;
+}
+
+val run : ?log:(string -> unit) -> config -> t
+(** @raise Failure when no candidate converges at all. *)
+
+val sims_per_extra_spec : config -> int
+(** Simulations the conventional approach must spend again for each new
+    specification (the whole budget), versus 0 table lookups for the proposed
+    model — the hierarchical-reuse argument of the paper. *)

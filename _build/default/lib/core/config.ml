@@ -1,0 +1,51 @@
+type t = {
+  conditions : Yield_circuits.Ota_testbench.conditions;
+  variation : Yield_process.Variation.spec;
+  ga : Yield_ga.Ga.config;
+  mc_samples : int;
+  front_stride : int;
+  control : string;
+  seed : int;
+}
+
+let paper_scale =
+  {
+    conditions = Yield_circuits.Ota_testbench.default_conditions;
+    variation = Yield_process.Variation.default_spec;
+    ga =
+      {
+        Yield_ga.Ga.default_config with
+        Yield_ga.Ga.population_size = 100;
+        generations = 100;
+      };
+    mc_samples = 200;
+    front_stride = 1;
+    control = "3E";
+    seed = 2008;
+  }
+
+let fast_scale =
+  {
+    paper_scale with
+    ga =
+      {
+        Yield_ga.Ga.default_config with
+        Yield_ga.Ga.population_size = 40;
+        generations = 25;
+      };
+    mc_samples = 40;
+    front_stride = 4;
+  }
+
+let of_env () =
+  match Sys.getenv_opt "YIELDLAB_FAST" with
+  | Some v when v <> "" && v <> "0" -> fast_scale
+  | Some _ | None -> paper_scale
+
+let scale_name t =
+  if
+    t.ga.Yield_ga.Ga.population_size = paper_scale.ga.Yield_ga.Ga.population_size
+    && t.ga.Yield_ga.Ga.generations = paper_scale.ga.Yield_ga.Ga.generations
+    && t.mc_samples = paper_scale.mc_samples
+  then "paper-scale"
+  else "reduced-scale"

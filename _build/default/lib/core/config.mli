@@ -1,0 +1,27 @@
+(** Configuration of the full model-generation flow (Figure 3). *)
+
+type t = {
+  conditions : Yield_circuits.Ota_testbench.conditions;
+  variation : Yield_process.Variation.spec;
+  ga : Yield_ga.Ga.config;
+  mc_samples : int;  (** Monte Carlo samples per Pareto point (paper: 200) *)
+  front_stride : int;
+      (** analyse every k-th Pareto point in the variation step (1 = all,
+          the paper's setting) *)
+  control : string;  (** table-model control string (paper: "3E") *)
+  seed : int;
+}
+
+val paper_scale : t
+(** The paper's §4 settings: population 100 x 100 generations (10,000
+    evaluation samples), 200 MC samples on every Pareto point. *)
+
+val fast_scale : t
+(** Reduced settings for smoke runs: 40 x 25 optimisation, 40 MC samples on
+    every 4th Pareto point. *)
+
+val of_env : unit -> t
+(** [paper_scale], or [fast_scale] when the environment variable
+    [YIELDLAB_FAST] is set to a non-empty value other than ["0"]. *)
+
+val scale_name : t -> string

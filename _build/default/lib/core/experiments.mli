@@ -1,0 +1,51 @@
+(** One entry point per table/figure of the paper's evaluation (§4-§5).
+    Each experiment renders the series/rows the paper reports; the shared
+    [context] carries the (expensive) flow result so the model is built
+    once. *)
+
+type context = {
+  config : Config.t;
+  flow : Flow.t;
+  spec : Yield_behavioural.Yield_target.spec;
+      (** the specification used for Tables 3/4 and the filter application;
+          chosen inside the model's range (the paper uses >50 dB, >74 deg on
+          its front — see EXPERIMENTS.md for the mapping) *)
+}
+
+val make_context : ?log:(string -> unit) -> Config.t -> context
+
+val spec_for_flow : Flow.t -> Yield_behavioural.Yield_target.spec
+(** The Table 3 specification derived from a flow's front: a gain at 60 % of
+    the front's span (rounded), with a PM requirement 2 degrees under the
+    front curve at the inflated gain. *)
+
+val fig7 : context -> string
+(** Gain/PM cloud of all evaluated individuals + the Pareto front series. *)
+
+val table2 : context -> string
+(** Performance and variation values of selected Pareto designs. *)
+
+val table3 : context -> string
+(** The yield-targeting interpolation example. *)
+
+val table4 : context -> string
+(** Transistor model vs behavioural model, % error. *)
+
+val table5 : ?run_baseline:bool -> context -> string
+(** Design-parameter summary: simulation counts, CPU time, and the
+    conventional MC-in-the-loop baseline comparison ([run_baseline]
+    defaults to true). *)
+
+val fig8 : context -> string
+(** Open-loop gain comparison: transistor vs behavioural model across
+    frequency, with the divergence point. *)
+
+val fig10 : context -> string
+(** The anti-aliasing filter specification mask. *)
+
+val fig11 : context -> string
+(** Filter design via the behavioural model, transistor-level verification
+    and 500-sample Monte Carlo yield. *)
+
+val all : (string * (context -> string)) list
+(** Experiments in paper order, keyed by their identifier ("fig7", ...). *)

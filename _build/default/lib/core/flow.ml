@@ -1,0 +1,216 @@
+module Ota = Yield_circuits.Ota
+module Gtb = Yield_circuits.Testbench
+module Wbga = Yield_ga.Wbga
+module Rng = Yield_stats.Rng
+module Montecarlo = Yield_process.Montecarlo
+module Variation = Yield_process.Variation
+module Perf_model = Yield_behavioural.Perf_model
+module Var_model = Yield_behavioural.Var_model
+module Macromodel = Yield_behavioural.Macromodel
+module Yield_target = Yield_behavioural.Yield_target
+
+type counts = {
+  optimisation_sims : int;
+  front_sims : int;
+  mc_sims : int;
+}
+
+let total_sims c = c.optimisation_sims + c.front_sims + c.mc_sims
+
+type timings = { optimisation_s : float; mc_s : float; total_s : float }
+
+type t = {
+  config : Config.t;
+  wbga : Wbga.result;
+  front_points : Perf_model.point array;
+  var_points : Var_model.point array;
+  perf_model : Perf_model.t;
+  var_model : Var_model.t;
+  macromodel : Macromodel.t;
+  counts : counts;
+  timings : timings;
+}
+
+let nop _ = ()
+
+type verification = {
+  nominal : Gtb.perf;
+  yield : Montecarlo.yield_estimate;
+  gains : float array;
+  pms : float array;
+}
+
+let design_for_spec t spec = Yield_target.plan t.macromodel spec
+
+let save_tables t ~dir =
+  let perf_path = Filename.concat dir "perf_model.tbl" in
+  let var_path = Filename.concat dir "variation_model.tbl" in
+  Yield_table.Tbl_io.write ~path:perf_path (Perf_model.to_table t.perf_model);
+  Yield_table.Tbl_io.write ~path:var_path (Var_model.to_table t.var_model);
+  [ perf_path; var_path ]
+
+let load_models ~dir ~control =
+  let perf =
+    Perf_model.of_table ~control
+      (Yield_table.Tbl_io.read ~path:(Filename.concat dir "perf_model.tbl"))
+  in
+  let var =
+    Var_model.of_table ~control
+      (Yield_table.Tbl_io.read
+         ~path:(Filename.concat dir "variation_model.tbl"))
+  in
+  (perf, var)
+
+module Make (A : Yield_circuits.Amplifier.S) = struct
+  module T = Gtb.Make (A)
+
+  let run ?(log = nop) (config : Config.t) =
+    let conditions = config.Config.conditions in
+    let t_start = Unix.gettimeofday () in
+    (* --- step 1-2: netlist generation + WBGA optimisation --- *)
+    let evaluate params =
+      match T.evaluate ~conditions (A.params_of_array params) with
+      | Some perf when Gtb.feasible conditions perf -> Some (Gtb.objectives perf)
+      | Some _ | None -> None
+    in
+    let rng = Rng.create config.Config.seed in
+    log
+      (Printf.sprintf "flow: WBGA %d x %d"
+         config.Config.ga.Yield_ga.Ga.population_size
+         config.Config.ga.Yield_ga.Ga.generations);
+    let wbga =
+      Wbga.run ~config:config.Config.ga ~param_ranges:A.param_ranges
+        ~objectives:
+          [|
+            { Wbga.name = "gain"; maximise = true };
+            { Wbga.name = "pm"; maximise = true };
+          |]
+        ~rng ~evaluate ()
+    in
+    let t_opt = Unix.gettimeofday () in
+    log
+      (Printf.sprintf "flow: %d evaluations, %d infeasible, front %d"
+         wbga.Wbga.evaluations wbga.Wbga.failures
+         (Array.length wbga.Wbga.front));
+    if Array.length wbga.Wbga.front < 2 then
+      failwith "Flow.run: optimisation produced no usable Pareto front";
+    (* --- step 3: performance model: nominal re-simulation of the front for
+       the auxiliary columns (rout, fu) --- *)
+    let front_sims = ref 0 in
+    let front_points =
+      Array.to_list wbga.Wbga.front
+      |> List.filter_map (fun (e : Wbga.entry) ->
+             incr front_sims;
+             match T.evaluate ~conditions (A.params_of_array e.Wbga.params) with
+             | Some perf ->
+                 Some
+                   {
+                     Perf_model.gain_db = perf.Gtb.gain_db;
+                     pm_deg = perf.Gtb.phase_margin_deg;
+                     params = e.Wbga.params;
+                     rout = perf.Gtb.rout_est;
+                     unity_gain_hz = perf.Gtb.unity_gain_hz;
+                   }
+             | None -> None)
+      |> Array.of_list
+    in
+    (* --- step 4: variation model: Monte Carlo on (a stride of) the
+       front --- *)
+    let stride = Stdlib.max 1 config.Config.front_stride in
+    let mc_rng = Rng.create (config.Config.seed + 1) in
+    let mc_sims = ref 0 in
+    let var_points = ref [] in
+    Array.iteri
+      (fun i (p : Perf_model.point) ->
+        if i mod stride = 0 then begin
+          let params = A.params_of_array p.Perf_model.params in
+          let counter = Atomic.make 0 in
+          let results =
+            Montecarlo.run_parallel ~samples:config.Config.mc_samples
+              ~rng:mc_rng (fun sample_rng ->
+                Atomic.incr counter;
+                T.evaluate_sampled ~conditions ~spec:config.Config.variation
+                  ~rng:sample_rng params)
+          in
+          mc_sims := !mc_sims + Atomic.get counter;
+          if Array.length results >= 8 then begin
+            let gains = Array.map (fun r -> r.Gtb.gain_db) results in
+            let pms = Array.map (fun r -> r.Gtb.phase_margin_deg) results in
+            let dgain =
+              Montecarlo.spread_pct gains ~nominal:p.Perf_model.gain_db
+            in
+            let dpm = Montecarlo.spread_pct pms ~nominal:p.Perf_model.pm_deg in
+            var_points :=
+              {
+                Var_model.gain_db = p.Perf_model.gain_db;
+                pm_deg = p.Perf_model.pm_deg;
+                dgain_pct = dgain;
+                dpm_pct = dpm;
+                mc_samples = Array.length results;
+              }
+              :: !var_points
+          end
+        end)
+      front_points;
+    let var_points = Array.of_list (List.rev !var_points) in
+    let t_mc = Unix.gettimeofday () in
+    log
+      (Printf.sprintf "flow: variation model from %d points x %d MC samples"
+         (Array.length var_points) config.Config.mc_samples);
+    (* --- step 5: table models --- *)
+    let perf_model =
+      Perf_model.create ~control:config.Config.control front_points
+    in
+    let var_model = Var_model.create ~control:config.Config.control var_points in
+    let macromodel = Macromodel.create perf_model var_model in
+    {
+      config;
+      wbga;
+      front_points;
+      var_points;
+      perf_model;
+      var_model;
+      macromodel;
+      counts =
+        {
+          optimisation_sims = wbga.Wbga.evaluations;
+          front_sims = !front_sims;
+          mc_sims = !mc_sims;
+        };
+      timings =
+        {
+          optimisation_s = t_opt -. t_start;
+          mc_s = t_mc -. t_opt;
+          total_s = Unix.gettimeofday () -. t_start;
+        };
+    }
+
+  let verify_design t ?(samples = 500) ?(seed = 77) ~spec params =
+    let conditions = t.config.Config.conditions in
+    match T.evaluate ~conditions params with
+    | None -> Error "verify_design: nominal evaluation failed"
+    | Some nominal ->
+        let rng = Rng.create seed in
+        let results =
+          Montecarlo.run_parallel ~samples ~rng (fun sample_rng ->
+              T.evaluate_sampled ~conditions ~spec:t.config.Config.variation
+                ~rng:sample_rng params)
+        in
+        if Array.length results = 0 then
+          Error "verify_design: all samples failed"
+        else begin
+          let gains = Array.map (fun r -> r.Gtb.gain_db) results in
+          let pms = Array.map (fun r -> r.Gtb.phase_margin_deg) results in
+          let ok r =
+            Yield_target.meets spec ~gain_db:r.Gtb.gain_db
+              ~pm_deg:r.Gtb.phase_margin_deg
+          in
+          Ok { nominal; yield = Montecarlo.yield_of ok results; gains; pms }
+        end
+end
+
+module Ota_flow = Make (Ota)
+
+let run = Ota_flow.run
+
+let verify_design = Ota_flow.verify_design

@@ -1,0 +1,73 @@
+(** The proposed algorithm end-to-end (Figure 3):
+
+    netlist + objectives -> WBGA multi-objective optimisation -> Pareto-front
+    performance model -> per-point Monte Carlo variation model -> combined
+    table-based behavioural model -> yield-targeted design queries. *)
+
+type counts = {
+  optimisation_sims : int;  (** transistor evaluations inside the WBGA *)
+  front_sims : int;  (** nominal re-evaluations of the Pareto points *)
+  mc_sims : int;  (** Monte Carlo evaluations of the variation step *)
+}
+
+val total_sims : counts -> int
+
+type timings = {
+  optimisation_s : float;
+  mc_s : float;
+  total_s : float;
+}
+
+type t = {
+  config : Config.t;
+  wbga : Yield_ga.Wbga.result;
+  front_points : Yield_behavioural.Perf_model.point array;
+      (** Pareto designs with their nominal small-signal data *)
+  var_points : Yield_behavioural.Var_model.point array;
+  perf_model : Yield_behavioural.Perf_model.t;
+  var_model : Yield_behavioural.Var_model.t;
+  macromodel : Yield_behavioural.Macromodel.t;
+  counts : counts;
+  timings : timings;
+}
+
+val run : ?log:(string -> unit) -> Config.t -> t
+(** The paper's flow on its benchmark circuit (the symmetrical OTA).
+    @raise Failure when the optimisation produces no usable front. *)
+
+val design_for_spec :
+  t -> Yield_behavioural.Yield_target.spec ->
+  (Yield_behavioural.Yield_target.plan, string) result
+
+type verification = {
+  nominal : Yield_circuits.Ota_testbench.perf;
+  yield : Yield_process.Montecarlo.yield_estimate;
+  gains : float array;  (** per-sample measured gains *)
+  pms : float array;
+}
+
+val verify_design :
+  t -> ?samples:int -> ?seed:int -> spec:Yield_behavioural.Yield_target.spec ->
+  Yield_circuits.Ota.params -> (verification, string) result
+(** Transistor-level Monte Carlo check of a design against a spec (the
+    paper's 500-sample verification). *)
+
+val save_tables : t -> dir:string -> string list
+(** Write [perf_model.tbl], [gain_delta.tbl] (variation model) into [dir];
+    returns the paths written. *)
+
+val load_models :
+  dir:string -> control:string ->
+  Yield_behavioural.Perf_model.t * Yield_behavioural.Var_model.t
+
+(** The same pipeline for any {!Yield_circuits.Amplifier.S} topology
+    ([run] above is [Make (Ota)]): note that [Config.conditions] should be
+    adapted to the topology (e.g. the Miller stage wants a lower
+    [min_unity_gain_hz]). *)
+module Make (A : Yield_circuits.Amplifier.S) : sig
+  val run : ?log:(string -> unit) -> Config.t -> t
+
+  val verify_design :
+    t -> ?samples:int -> ?seed:int -> spec:Yield_behavioural.Yield_target.spec ->
+    A.params -> (verification, string) result
+end

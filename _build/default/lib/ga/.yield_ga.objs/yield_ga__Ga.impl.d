@@ -1,0 +1,1 @@
+lib/ga/ga.ml: Array Float Fun Genome List Operators Stdlib Yield_stats

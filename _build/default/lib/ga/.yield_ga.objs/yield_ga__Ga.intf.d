@@ -1,0 +1,1 @@
+lib/ga/ga.mli: Genome Operators Yield_stats

@@ -1,0 +1,1 @@
+lib/ga/genome.ml: Array Float Yield_stats

@@ -1,0 +1,1 @@
+lib/ga/genome.mli: Yield_stats

@@ -1,0 +1,1 @@
+lib/ga/nsga2.ml: Array Float Genome List Operators Pareto Yield_stats

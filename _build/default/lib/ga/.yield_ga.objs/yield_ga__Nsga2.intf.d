@@ -1,0 +1,1 @@
+lib/ga/nsga2.mli: Genome Yield_stats

@@ -1,0 +1,1 @@
+lib/ga/operators.ml: Array Float Genome Stdlib Yield_stats

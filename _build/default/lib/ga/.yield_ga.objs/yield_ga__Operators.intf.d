@@ -1,0 +1,1 @@
+lib/ga/operators.mli: Genome Yield_stats

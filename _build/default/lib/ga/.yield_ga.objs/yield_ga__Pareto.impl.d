@@ -1,0 +1,1 @@
+lib/ga/pareto.ml: Array Float Fun List

@@ -1,0 +1,1 @@
+lib/ga/wbga.ml: Array Fitness Float Fun Ga Genome List Pareto

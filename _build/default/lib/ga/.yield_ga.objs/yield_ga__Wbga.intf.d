@@ -1,0 +1,1 @@
+lib/ga/wbga.mli: Ga Genome Yield_stats

@@ -1,0 +1,44 @@
+type normalizer = {
+  mins : float array;
+  maxs : float array;
+  mutable seen : int;
+}
+
+let create m =
+  if m <= 0 then invalid_arg "Fitness.create: need at least one objective";
+  { mins = Array.make m infinity; maxs = Array.make m neg_infinity; seen = 0 }
+
+let observe t objectives =
+  if Array.length objectives <> Array.length t.mins then
+    invalid_arg "Fitness.observe: objective count mismatch";
+  if Array.for_all Float.is_finite objectives then begin
+    Array.iteri
+      (fun j v ->
+        t.mins.(j) <- Float.min t.mins.(j) v;
+        t.maxs.(j) <- Float.max t.maxs.(j) v)
+      objectives;
+    t.seen <- t.seen + 1
+  end
+
+let observed t = t.seen
+
+let bounds t = Array.init (Array.length t.mins) (fun j -> (t.mins.(j), t.maxs.(j)))
+
+let normalise t objectives =
+  Array.mapi
+    (fun j v ->
+      let lo = t.mins.(j) and hi = t.maxs.(j) in
+      if not (Float.is_finite lo) || not (Float.is_finite hi) || hi <= lo then 0.5
+      else (v -. lo) /. (hi -. lo))
+    objectives
+
+let weighted_sum t ~weights objectives =
+  if Array.length weights <> Array.length objectives then
+    invalid_arg "Fitness.weighted_sum: weight count mismatch";
+  if not (Array.for_all Float.is_finite objectives) then neg_infinity
+  else begin
+    let normed = normalise t objectives in
+    let acc = ref 0. in
+    Array.iteri (fun j w -> acc := !acc +. (w *. normed.(j))) weights;
+    !acc
+  end

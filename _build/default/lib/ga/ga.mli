@@ -1,0 +1,37 @@
+(** The generational genetic-algorithm engine.
+
+    The engine is payload-polymorphic: scoring a population returns, for each
+    genome, an application payload (e.g. raw objective values) and a scalar
+    fitness to be maximised.  Batch scoring lets the caller normalise
+    fitnesses across the whole generation, as the WBGA requires. *)
+
+type config = {
+  population_size : int;
+  generations : int;
+  selection : Operators.selection;
+  crossover : Operators.crossover;
+  crossover_rate : float;  (** probability a pair is crossed at all *)
+  mutation : Operators.mutation;
+  elite_count : int;  (** best-of-generation individuals copied unchanged *)
+}
+
+val default_config : config
+(** Population 100 x 100 generations (the paper's setting), binary
+    tournament, one-point crossover at 0.9, gaussian mutation. *)
+
+type 'a evaluated = { genome : Genome.t; payload : 'a; fitness : float }
+
+type 'a result = {
+  archive : 'a evaluated array;
+      (** every individual ever evaluated, in evaluation order *)
+  best : 'a evaluated;
+  history : float array;  (** best fitness per generation *)
+  evaluations : int;
+}
+
+val run :
+  config -> Genome.encoding -> Yield_stats.Rng.t ->
+  score:(Genome.t array -> ('a * float) array) ->
+  'a result
+(** @raise Invalid_argument for non-positive population/generations or if
+    [score] returns the wrong number of results. *)

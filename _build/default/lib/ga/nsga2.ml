@@ -1,0 +1,192 @@
+module Rng = Yield_stats.Rng
+
+type config = {
+  population_size : int;
+  generations : int;
+  crossover_eta : float;
+  mutation_eta : float;
+  mutation_rate : float;
+}
+
+let default_config =
+  {
+    population_size = 100;
+    generations = 100;
+    crossover_eta = 15.;
+    mutation_eta = 20.;
+    mutation_rate = 0.1;
+  }
+
+type entry = { params : float array; objectives : float array }
+
+type result = {
+  front : entry array;
+  archive : entry array;
+  evaluations : int;
+  failures : int;
+}
+
+type individual = {
+  genome : Genome.t;
+  entry : entry option;  (* None = failed evaluation *)
+  mutable rank : int;
+  mutable crowding : float;
+}
+
+(* fast non-dominated sort; failed individuals land in the last rank *)
+let rank_population ~maximise pop =
+  let n = Array.length pop in
+  let objectives i =
+    match pop.(i).entry with Some e -> Some e.objectives | None -> None
+  in
+  let dominates i j =
+    match (objectives i, objectives j) with
+    | Some a, Some b -> Pareto.dominates ~maximise a b
+    | Some _, None -> true
+    | None, (Some _ | None) -> false
+  in
+  let dominated_count = Array.make n 0 in
+  let dominated_by = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && dominates i j then begin
+        dominated_by.(i) <- j :: dominated_by.(i);
+        dominated_count.(j) <- dominated_count.(j) + 1
+      end
+    done
+  done;
+  let current = ref [] in
+  for i = 0 to n - 1 do
+    if dominated_count.(i) = 0 then begin
+      pop.(i).rank <- 0;
+      current := i :: !current
+    end
+  done;
+  let rank = ref 0 in
+  let fronts = ref [] in
+  while !current <> [] do
+    fronts := !current :: !fronts;
+    let next = ref [] in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun j ->
+            dominated_count.(j) <- dominated_count.(j) - 1;
+            if dominated_count.(j) = 0 then begin
+              pop.(j).rank <- !rank + 1;
+              next := j :: !next
+            end)
+          dominated_by.(i))
+      !current;
+    incr rank;
+    current := !next
+  done;
+  List.rev !fronts
+
+let assign_crowding pop fronts =
+  let points =
+    Array.map
+      (fun ind ->
+        match ind.entry with
+        | Some e -> e.objectives
+        | None -> [| neg_infinity |])
+      pop
+  in
+  List.iter
+    (fun front ->
+      let usable = List.filter (fun i -> pop.(i).entry <> None) front in
+      match usable with
+      | [] -> ()
+      | _ ->
+          let idx = Array.of_list usable in
+          let dist = Pareto.crowding_distance points idx in
+          Array.iteri (fun k i -> pop.(i).crowding <- dist.(k)) idx)
+    fronts
+
+let better a b =
+  if a.rank <> b.rank then a.rank < b.rank else a.crowding > b.crowding
+
+let run ?(config = default_config) ~param_ranges ~maximise ~rng ~evaluate () =
+  let encoding = Genome.encoding param_ranges ~n_weights:0 in
+  let evaluations = ref 0 and failures = ref 0 in
+  let archive = ref [] in
+  let make genome =
+    incr evaluations;
+    let params = Genome.params encoding genome in
+    let entry =
+      match evaluate params with
+      | Some objectives ->
+          let e = { params; objectives } in
+          archive := e :: !archive;
+          Some e
+      | None ->
+          incr failures;
+          None
+    in
+    { genome; entry; rank = max_int; crowding = 0. }
+  in
+  let pop_size = config.population_size in
+  let population =
+    ref (Array.init pop_size (fun _ -> make (Genome.random encoding rng)))
+  in
+  let fronts = rank_population ~maximise !population in
+  assign_crowding !population fronts;
+  for _gen = 2 to config.generations do
+    let pop = !population in
+    let pick () =
+      let a = pop.(Rng.int rng pop_size) and b = pop.(Rng.int rng pop_size) in
+      if better a b then a else b
+    in
+    let offspring = ref [] in
+    while List.length !offspring < pop_size do
+      let p1 = pick () and p2 = pick () in
+      let c1, c2 =
+        Operators.cross (Operators.Sbx config.crossover_eta) rng p1.genome
+          p2.genome
+      in
+      let m = Operators.Polynomial { eta = config.mutation_eta; rate = config.mutation_rate } in
+      Operators.mutate m rng c1;
+      Operators.mutate m rng c2;
+      offspring := make c1 :: !offspring;
+      if List.length !offspring < pop_size then offspring := make c2 :: !offspring
+    done;
+    let union = Array.append pop (Array.of_list !offspring) in
+    let fronts = rank_population ~maximise union in
+    assign_crowding union fronts;
+    (* environmental selection: fill by rank, break the last front by
+       crowding *)
+    let selected = ref [] and count = ref 0 in
+    List.iter
+      (fun front ->
+        if !count < pop_size then begin
+          let members = List.map (fun i -> union.(i)) front in
+          let members =
+            List.sort (fun a b -> Float.compare b.crowding a.crowding) members
+          in
+          List.iter
+            (fun ind ->
+              if !count < pop_size then begin
+                selected := ind :: !selected;
+                incr count
+              end)
+            members
+        end)
+      fronts;
+    population := Array.of_list (List.rev !selected)
+  done;
+  let final = !population in
+  let fronts = rank_population ~maximise final in
+  assign_crowding final fronts;
+  let front =
+    Array.of_list
+      (List.filter_map
+         (fun ind -> if ind.rank = 0 then ind.entry else None)
+         (Array.to_list final))
+  in
+  Array.sort (fun a b -> Float.compare a.objectives.(0) b.objectives.(0)) front;
+  {
+    front;
+    archive = Array.of_list (List.rev !archive);
+    evaluations = !evaluations;
+    failures = !failures;
+  }

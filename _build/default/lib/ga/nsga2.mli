@@ -1,0 +1,34 @@
+(** NSGA-II (Deb et al.): a reference multi-objective optimiser.
+
+    The paper's reference [8] is Deb's book; NSGA-II is the canonical
+    algorithm from it.  It is included as a baseline to compare the WBGA's
+    front quality against (ablation benches), not as part of the paper's
+    proposed flow. *)
+
+type config = {
+  population_size : int;
+  generations : int;
+  crossover_eta : float;
+  mutation_eta : float;
+  mutation_rate : float;  (** per gene *)
+}
+
+val default_config : config
+
+type entry = { params : float array; objectives : float array }
+
+type result = {
+  front : entry array;  (** final non-dominated set, sorted by objective 0 *)
+  archive : entry array;  (** every successful evaluation *)
+  evaluations : int;
+  failures : int;
+}
+
+val run :
+  ?config:config ->
+  param_ranges:Genome.range array ->
+  maximise:bool array ->
+  rng:Yield_stats.Rng.t ->
+  evaluate:(float array -> float array option) ->
+  unit ->
+  result

@@ -1,0 +1,28 @@
+(** Genetic operators: selection, crossover, mutation. *)
+
+type selection =
+  | Tournament of int  (** pick the best of k uniformly drawn individuals *)
+  | Roulette  (** fitness-proportional (fitnesses shifted to be positive) *)
+
+type crossover =
+  | One_point
+  | Uniform of float  (** per-gene exchange probability *)
+  | Blend of float  (** BLX-alpha *)
+  | Sbx of float  (** simulated binary crossover, distribution index eta *)
+
+type mutation =
+  | Gaussian of { sigma : float; rate : float }
+  | Uniform_reset of { rate : float }
+  | Polynomial of { eta : float; rate : float }
+
+val select : selection -> Yield_stats.Rng.t -> fitness:float array -> int
+(** Index of the selected individual.
+    @raise Invalid_argument on an empty population. *)
+
+val cross :
+  crossover -> Yield_stats.Rng.t -> Genome.t -> Genome.t -> Genome.t * Genome.t
+(** Two offspring; parents are not modified.  Children are clamped to
+    [0, 1]. *)
+
+val mutate : mutation -> Yield_stats.Rng.t -> Genome.t -> unit
+(** In-place mutation followed by clamping. *)

@@ -1,0 +1,78 @@
+type objective = { name : string; maximise : bool }
+
+type entry = {
+  params : float array;
+  objectives : float array;
+  weights : float array;
+  fitness : float;
+}
+
+type result = {
+  archive : entry array;
+  front : entry array;
+  evaluations : int;
+  failures : int;
+  history : float array;
+}
+
+let run ?(config = Ga.default_config) ~param_ranges ~objectives ~rng ~evaluate () =
+  let n_obj = Array.length objectives in
+  if n_obj = 0 then invalid_arg "Wbga.run: no objectives";
+  let encoding = Genome.encoding param_ranges ~n_weights:n_obj in
+  let normalizer = Fitness.create n_obj in
+  let failures = ref 0 in
+  (* orient so that larger is always better inside the normaliser *)
+  let oriented raw =
+    Array.mapi
+      (fun j v -> if objectives.(j).maximise then v else -.v)
+      raw
+  in
+  let score population =
+    let raw_results =
+      Array.map
+        (fun genome ->
+          let params = Genome.params encoding genome in
+          match evaluate params with
+          | Some raw when Array.length raw = n_obj ->
+              let o = oriented raw in
+              Fitness.observe normalizer o;
+              Some (params, raw, o)
+          | Some _ -> invalid_arg "Wbga.run: evaluate returned wrong arity"
+          | None ->
+              incr failures;
+              None)
+        population
+    in
+    (* second pass: fitness under the bounds updated by the whole batch *)
+    Array.map2
+      (fun genome result ->
+        let weights = Genome.weights encoding genome in
+        match result with
+        | Some (params, raw, o) ->
+            let fitness = Fitness.weighted_sum normalizer ~weights o in
+            (Some { params; objectives = raw; weights; fitness }, fitness)
+        | None -> (None, neg_infinity))
+      population raw_results
+  in
+  let ga_result = Ga.run config encoding rng ~score in
+  let archive =
+    Array.of_list
+      (List.filter_map
+         (fun (e : _ Ga.evaluated) -> e.Ga.payload)
+         (Array.to_list ga_result.Ga.archive))
+  in
+  let points = Array.map (fun e -> e.objectives) archive in
+  let maximise = Array.map (fun o -> o.maximise) objectives in
+  let front_indices =
+    if n_obj = 2 && Array.for_all Fun.id maximise then Pareto.front_2d points
+    else Pareto.non_dominated ~maximise points
+  in
+  let front = Array.of_list (List.map (fun i -> archive.(i)) front_indices) in
+  Array.sort (fun a b -> Float.compare a.objectives.(0) b.objectives.(0)) front;
+  {
+    archive;
+    front;
+    evaluations = ga_result.Ga.evaluations;
+    failures = !failures;
+    history = ga_result.Ga.history;
+  }

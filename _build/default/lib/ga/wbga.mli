@@ -1,0 +1,38 @@
+(** The paper's weight-based genetic algorithm (§3.2).
+
+    Each GA string carries the designable parameters {e and} the objective
+    weights; the weights evolve with the design, so the population explores
+    many scalarisation directions at once and its evaluation archive samples
+    the whole performance trade-off.  The Pareto front is then extracted from
+    the archive (§3.3). *)
+
+type objective = { name : string; maximise : bool }
+
+type entry = {
+  params : float array;  (** decoded designable parameters *)
+  objectives : float array;  (** raw objective values *)
+  weights : float array;  (** decoded, normalised weights (eq. 4) *)
+  fitness : float;  (** eq. 5 weighted normalised sum *)
+}
+
+type result = {
+  archive : entry array;  (** every successfully evaluated individual *)
+  front : entry array;
+      (** non-dominated subset of the archive, sorted by the first
+          objective *)
+  evaluations : int;  (** total evaluation calls, including failed ones *)
+  failures : int;  (** evaluations that returned [None] *)
+  history : float array;  (** best fitness per generation *)
+}
+
+val run :
+  ?config:Ga.config ->
+  param_ranges:Genome.range array ->
+  objectives:objective array ->
+  rng:Yield_stats.Rng.t ->
+  evaluate:(float array -> float array option) ->
+  unit ->
+  result
+(** [evaluate params] returns the raw objective values, or [None] when the
+    underlying simulation fails; failed individuals receive [neg_infinity]
+    fitness and are excluded from the archive and front. *)

@@ -1,0 +1,1 @@
+lib/numeric/cmat.ml: Array Complex Lu Mat

@@ -1,0 +1,1 @@
+lib/numeric/cmat.mli: Complex Mat

@@ -1,0 +1,1 @@
+lib/numeric/lu.ml: Array Float Mat

@@ -1,0 +1,1 @@
+lib/numeric/lu.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/numeric/mat.ml: Array Float Format

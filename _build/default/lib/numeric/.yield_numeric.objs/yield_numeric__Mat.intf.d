@@ -1,0 +1,1 @@
+lib/numeric/mat.mli: Format Vec

@@ -1,0 +1,1 @@
+lib/numeric/rootfind.ml: Float

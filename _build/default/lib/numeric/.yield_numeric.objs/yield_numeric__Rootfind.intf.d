@@ -1,0 +1,1 @@
+lib/numeric/rootfind.mli:

@@ -1,0 +1,108 @@
+(* Row-major storage in a single flat array keeps LU factorisation cache
+   friendly, which matters because the Newton loop refactorises every
+   iteration. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.data.((i * n) + i) <- 1.
+  done;
+  m
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0. in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then invalid_arg "Mat.of_arrays: empty";
+  let cols = Array.length a.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then invalid_arg "Mat.of_arrays: ragged")
+    a;
+  init rows cols (fun i j -> a.(i).(j))
+
+let copy m = { m with data = Array.copy m.data }
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let add_to m i j x =
+  let k = (i * m.cols) + j in
+  m.data.(k) <- m.data.(k) +. x
+
+let fill m x = Array.fill m.data 0 (Array.length m.data) x
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let mul_vec m v =
+  if m.cols <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.((i * m.cols) + j) *. v.(j))
+      done;
+      !acc)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Mat: shape mismatch";
+  {
+    a with
+    data = Array.init (Array.length a.data) (fun k -> f a.data.(k) b.data.(k));
+  }
+
+let add a b = map2 ( +. ) a b
+
+let sub a b = map2 ( -. ) a b
+
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+
+let max_abs m =
+  Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. m.data
+
+let equal_eps eps a b =
+  a.rows = b.rows && a.cols = b.cols && max_abs (sub a b) <= eps
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" (get m i j)
+    done
+  done;
+  Format.fprintf ppf "@]"

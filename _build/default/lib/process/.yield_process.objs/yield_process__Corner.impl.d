@@ -1,0 +1,1 @@
+lib/process/corner.ml: String Tech Variation Yield_spice

@@ -1,0 +1,1 @@
+lib/process/corner.mli: Tech Variation

@@ -1,0 +1,1 @@
+lib/process/montecarlo.ml: Array Atomic Domain Float Fun List Stdlib Yield_stats

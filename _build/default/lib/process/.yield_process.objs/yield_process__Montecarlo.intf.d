@@ -1,0 +1,1 @@
+lib/process/montecarlo.mli: Yield_stats

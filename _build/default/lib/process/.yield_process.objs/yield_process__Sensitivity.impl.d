@@ -1,0 +1,1 @@
+lib/process/sensitivity.ml: Array List Variation

@@ -1,0 +1,1 @@
+lib/process/sensitivity.mli: Stdlib Variation

@@ -1,0 +1,1 @@
+lib/process/tech.ml: Yield_spice

@@ -1,0 +1,1 @@
+lib/process/tech.mli: Yield_spice

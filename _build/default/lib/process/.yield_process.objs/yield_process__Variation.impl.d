@@ -1,0 +1,1 @@
+lib/process/variation.ml: Array Yield_spice Yield_stats

@@ -1,0 +1,1 @@
+lib/process/variation.mli: Yield_spice Yield_stats

@@ -1,0 +1,48 @@
+module Mosfet = Yield_spice.Mosfet
+
+type t = Tt | Ff | Ss | Fs | Sf
+
+let all = [ Tt; Ff; Ss; Fs; Sf ]
+
+let to_string = function
+  | Tt -> "tt"
+  | Ff -> "ff"
+  | Ss -> "ss"
+  | Fs -> "fs"
+  | Sf -> "sf"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "tt" -> Some Tt
+  | "ff" -> Some Ff
+  | "ss" -> Some Ss
+  | "fs" -> Some Fs
+  | "sf" -> Some Sf
+  | _ -> None
+
+(* direction of each polarity: +1 = fast (lower vth, higher kp) *)
+let directions = function
+  | Tt -> (0., 0.)
+  | Ff -> (1., 1.)
+  | Ss -> (-1., -1.)
+  | Fs -> (1., -1.)
+  | Sf -> (-1., 1.)
+
+let shift_model ~n_sigma ~direction ~sigma_vth ~sigma_kp (m : Mosfet.model) =
+  Mosfet.with_deltas m
+    ~dvth:(-.direction *. n_sigma *. sigma_vth)
+    ~dkp_rel:(direction *. n_sigma *. sigma_kp)
+    ~dlambda_rel:0.
+
+let apply ?(n_sigma = 3.) (spec : Variation.spec) corner (tech : Tech.t) =
+  let dir_n, dir_p = directions corner in
+  let g = spec.Variation.global in
+  let nmos =
+    shift_model ~n_sigma ~direction:dir_n ~sigma_vth:g.Variation.sigma_vth_n
+      ~sigma_kp:g.Variation.sigma_kp_rel_n tech.Tech.nmos
+  in
+  let pmos =
+    shift_model ~n_sigma ~direction:dir_p ~sigma_vth:g.Variation.sigma_vth_p
+      ~sigma_kp:g.Variation.sigma_kp_rel_p tech.Tech.pmos
+  in
+  Tech.with_models tech ~nmos ~pmos

@@ -1,0 +1,16 @@
+(** Process corners derived from the statistical spec: the deterministic
+    complement to Monte Carlo analysis. *)
+
+type t = Tt | Ff | Ss | Fs | Sf
+    (** Typical, fast-fast, slow-slow, fast-N/slow-P, slow-N/fast-P. *)
+
+val all : t list
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val apply : ?n_sigma:float -> Variation.spec -> t -> Tech.t -> Tech.t
+(** [apply spec corner tech] shifts the nominal models by [n_sigma] (default
+    3) global sigmas in the corner's direction.  "Fast" means lower threshold
+    magnitude and higher kp. *)

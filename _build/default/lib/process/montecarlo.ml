@@ -1,0 +1,88 @@
+module Rng = Yield_stats.Rng
+module Summary = Yield_stats.Summary
+
+let run ~samples ~rng f =
+  let results = ref [] in
+  for _ = 1 to samples do
+    let child = Rng.split rng in
+    match f child with
+    | Some r -> results := r :: !results
+    | None -> ()
+  done;
+  Array.of_list (List.rev !results)
+
+let run_parallel ?domains ~samples ~rng f =
+  let domains =
+    match domains with
+    | Some d -> Stdlib.max 1 d
+    | None -> Stdlib.min 8 (Domain.recommended_domain_count ())
+  in
+  if domains <= 1 || samples <= 1 then run ~samples ~rng f
+  else begin
+    (* split all child streams sequentially first, so the sample streams are
+       identical to the serial path *)
+    let children = Array.init samples (fun _ -> Rng.split rng) in
+    let slots = Array.make samples None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < samples then begin
+          slots.(i) <- f children.(i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.of_list (List.filter_map Fun.id (Array.to_list slots))
+  end
+
+type yield_estimate = {
+  pass : int;
+  total : int;
+  yield : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+let estimate_yield ~pass ~total =
+  if total <= 0 then invalid_arg "Montecarlo.estimate_yield: empty sample";
+  if pass < 0 || pass > total then
+    invalid_arg "Montecarlo.estimate_yield: pass outside [0, total]";
+  let n = float_of_int total and k = float_of_int pass in
+  let p = k /. n in
+  (* Wilson score interval, z = 1.96 *)
+  let z = 1.96 in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2. *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n)))
+  in
+  {
+    pass;
+    total;
+    yield = p;
+    ci_low = Float.max 0. (centre -. half);
+    ci_high = Float.min 1. (centre +. half);
+  }
+
+let yield_of ok results =
+  let pass = Array.fold_left (fun acc r -> if ok r then acc + 1 else acc) 0 results in
+  estimate_yield ~pass ~total:(Array.length results)
+
+let spread_pct xs ~nominal =
+  if Array.length xs = 0 then invalid_arg "Montecarlo.spread_pct: empty sample";
+  if nominal = 0. then invalid_arg "Montecarlo.spread_pct: zero nominal";
+  (* robust location/scale (median, IQR/1.349): a circuit sample can jump to
+     a different operating branch and land far outside the main mode, and a
+     plain 3-sigma envelope would be dominated by that single sample *)
+  let centre = Summary.median xs in
+  let iqr = Summary.quantile xs 0.75 -. Summary.quantile xs 0.25 in
+  let sd = iqr /. 1.349 in
+  let hi = centre +. (3. *. sd) and lo = centre -. (3. *. sd) in
+  let dev = Float.max (Float.abs (hi -. nominal)) (Float.abs (nominal -. lo)) in
+  100. *. dev /. Float.abs nominal

@@ -1,0 +1,39 @@
+(** Generic Monte Carlo driver and yield estimation. *)
+
+val run :
+  samples:int -> rng:Yield_stats.Rng.t -> (Yield_stats.Rng.t -> 'a option) ->
+  'a array
+(** [run ~samples ~rng f] calls [f] with an independent child stream per
+    sample and collects the successful results.  [f] returning [None] (e.g. a
+    non-converging DC solve) drops the sample, so the result array may be
+    shorter than [samples]. *)
+
+val run_parallel :
+  ?domains:int -> samples:int -> rng:Yield_stats.Rng.t ->
+  (Yield_stats.Rng.t -> 'a option) -> 'a array
+(** Like {!run} but fanned out over OCaml 5 domains (default:
+    [Domain.recommended_domain_count], capped at 8).  Child streams are split
+    sequentially before the fan-out and results are collected in sample
+    order, so the output is {e identical} to {!run} with the same [rng].
+    [f] must not share mutable state across calls. *)
+
+type yield_estimate = {
+  pass : int;
+  total : int;
+  yield : float;  (** pass / total *)
+  ci_low : float;  (** 95 % Wilson confidence bounds *)
+  ci_high : float;
+}
+
+val estimate_yield : pass:int -> total:int -> yield_estimate
+(** @raise Invalid_argument when [total = 0] or [pass] outside [0, total]. *)
+
+val yield_of : ('a -> bool) -> 'a array -> yield_estimate
+
+val spread_pct : float array -> nominal:float -> float
+(** The paper's variation measure: the larger one-sided deviation of the
+    sample 3-sigma envelope from the nominal value, as a percentage of the
+    nominal — i.e. the dGain/dPM columns of Table 2.  Location and scale are
+    estimated robustly (median, IQR/1.349) so a single sample jumping to a
+    different operating branch does not dominate the envelope.
+    @raise Invalid_argument on empty samples or zero nominal. *)

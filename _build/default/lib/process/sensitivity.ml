@@ -1,0 +1,67 @@
+type component = Vth_n | Vth_p | Kp_n | Kp_p | Lambda
+
+let all = [ Vth_n; Vth_p; Kp_n; Kp_p; Lambda ]
+
+let to_string = function
+  | Vth_n -> "vth_n"
+  | Vth_p -> "vth_p"
+  | Kp_n -> "kp_n"
+  | Kp_p -> "kp_p"
+  | Lambda -> "lambda"
+
+let draw_for (spec : Variation.spec) component k =
+  let z = Array.make Variation.global_dims 0. in
+  let index =
+    match component with
+    | Vth_n -> 0
+    | Vth_p -> 1
+    | Kp_n -> 2
+    | Kp_p -> 3
+    | Lambda -> 4
+  in
+  z.(index) <- k;
+  Variation.global_draw_of_normals spec z
+
+type result = {
+  component : component;
+  per_sigma : float;
+  variance_share : float;
+}
+
+let analyse ~spec ~eval =
+  match eval Variation.nominal_global with
+  | None -> Error "sensitivity: nominal evaluation failed"
+  | Some _nominal -> begin
+      let slopes =
+        List.map
+          (fun component ->
+            match
+              (eval (draw_for spec component 1.), eval (draw_for spec component (-1.)))
+            with
+            | Some up, Some down -> Ok (component, (up -. down) /. 2.)
+            | _ ->
+                Error
+                  ("sensitivity: evaluation failed for " ^ to_string component))
+          all
+      in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | Ok x :: rest -> collect (x :: acc) rest
+        | Error e :: _ -> Error e
+      in
+      match collect [] slopes with
+      | Error e -> Error e
+      | Ok slopes ->
+          let total =
+            List.fold_left (fun acc (_, s) -> acc +. (s *. s)) 0. slopes
+          in
+          Ok
+            (List.map
+               (fun (component, s) ->
+                 {
+                   component;
+                   per_sigma = s;
+                   variance_share = (if total > 0. then s *. s /. total else 0.);
+                 })
+               slopes)
+    end

@@ -1,0 +1,50 @@
+module Mosfet = Yield_spice.Mosfet
+
+type t = {
+  name : string;
+  vdd : float;
+  nmos : Mosfet.model;
+  pmos : Mosfet.model;
+  l_min : float;
+}
+
+let c35 =
+  {
+    name = "c35-class 0.35um";
+    vdd = 3.3;
+    l_min = 0.35e-6;
+    nmos =
+      {
+        Mosfet.polarity = Mosfet.Nmos;
+        vth0 = 0.50;
+        kp = 170e-6;
+        gamma = 0.58;
+        phi = 0.7;
+        lambda0 = 0.04;
+        n_slope = 1.3;
+        cox = 4.54e-3;
+        cgso = 1.2e-10;
+        cgdo = 1.2e-10;
+        cj = 9.4e-4;
+        cjsw = 2.5e-10;
+        ext = 8.5e-7;
+      };
+    pmos =
+      {
+        Mosfet.polarity = Mosfet.Pmos;
+        vth0 = 0.65;
+        kp = 58e-6;
+        gamma = 0.40;
+        phi = 0.7;
+        lambda0 = 0.06;
+        n_slope = 1.35;
+        cox = 4.54e-3;
+        cgso = 1.2e-10;
+        cgdo = 1.2e-10;
+        cj = 1.36e-3;
+        cjsw = 3.2e-10;
+        ext = 8.5e-7;
+      };
+  }
+
+let with_models t ~nmos ~pmos = { t with nmos; pmos }

@@ -1,0 +1,20 @@
+(** Technology description: nominal device models and supply conditions.
+
+    [c35] is a 0.35 um-class mixed-signal CMOS technology in the spirit of the
+    AMS C35B4 process used by the paper: 3.3 V supply, NMOS kp around
+    170 uA/V^2, PMOS around 58 uA/V^2, |vth| around 0.5-0.65 V.  The numbers
+    are textbook values for that node, not the (proprietary) foundry deck —
+    see DESIGN.md §2. *)
+
+type t = {
+  name : string;
+  vdd : float;  (** nominal supply, V *)
+  nmos : Yield_spice.Mosfet.model;
+  pmos : Yield_spice.Mosfet.model;
+  l_min : float;  (** minimum channel length, m *)
+}
+
+val c35 : t
+
+val with_models :
+  t -> nmos:Yield_spice.Mosfet.model -> pmos:Yield_spice.Mosfet.model -> t

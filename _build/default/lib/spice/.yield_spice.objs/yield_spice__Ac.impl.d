@@ -1,0 +1,1 @@
+lib/spice/ac.ml: Array Circuit Complex Dcop Device Float Mna Stdlib Yield_numeric

@@ -1,0 +1,1 @@
+lib/spice/ac.mli: Circuit Complex Dcop Device

@@ -1,0 +1,1 @@
+lib/spice/circuit.ml: Array Device Hashtbl List

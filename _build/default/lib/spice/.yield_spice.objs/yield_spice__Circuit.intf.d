@@ -1,0 +1,1 @@
+lib/spice/circuit.mli: Device Mosfet

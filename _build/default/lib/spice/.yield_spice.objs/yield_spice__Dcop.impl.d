@@ -1,0 +1,1 @@
+lib/spice/dcop.ml: Array Circuit Device Float Format List Mna Mosfet String Yield_numeric

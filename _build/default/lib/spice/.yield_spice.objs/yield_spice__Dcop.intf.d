@@ -1,0 +1,1 @@
+lib/spice/dcop.mli: Circuit Device Format Mna Mosfet Yield_numeric

@@ -1,0 +1,1 @@
+lib/spice/dcsweep.ml: Array Circuit Dcop Device Float Mna

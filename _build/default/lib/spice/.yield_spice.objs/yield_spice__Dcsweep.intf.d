@@ -1,0 +1,1 @@
+lib/spice/dcsweep.mli: Circuit Dcop Device Mna

@@ -1,0 +1,1 @@
+lib/spice/device.ml: Float Mosfet

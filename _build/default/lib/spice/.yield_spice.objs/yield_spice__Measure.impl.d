@@ -1,0 +1,1 @@
+lib/spice/measure.ml: Ac Array Complex Float

@@ -1,0 +1,1 @@
+lib/spice/measure.mli: Ac Complex

@@ -1,0 +1,1 @@
+lib/spice/measure_tran.ml: Array Float Stdlib

@@ -1,0 +1,1 @@
+lib/spice/mna.ml: Array Circuit Complex Device Hashtbl List Mosfet Yield_numeric

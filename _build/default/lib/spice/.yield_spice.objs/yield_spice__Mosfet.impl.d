@@ -1,0 +1,1 @@
+lib/spice/mosfet.ml: Float

@@ -1,0 +1,1 @@
+lib/spice/netlist.ml: Array Buffer Char Circuit Device Float Fun Hashtbl List Mosfet Printf String

@@ -1,0 +1,1 @@
+lib/spice/noise.ml: Ac Array Circuit Complex Dcop Device Float List Mna Mosfet Yield_numeric

@@ -1,0 +1,1 @@
+lib/spice/noise.mli: Ac Circuit Dcop Device

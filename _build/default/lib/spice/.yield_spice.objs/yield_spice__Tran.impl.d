@@ -1,0 +1,1 @@
+lib/spice/tran.ml: Array Circuit Dcop Device Float List Mna Mosfet Printf Yield_numeric

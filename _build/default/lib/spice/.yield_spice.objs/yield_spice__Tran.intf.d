@@ -1,0 +1,1 @@
+lib/spice/tran.mli: Circuit Dcop Device Mna Stdlib

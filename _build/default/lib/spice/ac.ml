@@ -1,0 +1,34 @@
+module Cmat = Yield_numeric.Cmat
+
+type bode = { freqs : float array; response : Complex.t array }
+
+let system circuit (op : Dcop.t) =
+  let ops name = Dcop.mos_op op name in
+  Mna.assemble_ac circuit op.Dcop.layout ~ops
+
+let solve_pieces (g, c, rhs) ~freq =
+  let omega = 2. *. Float.pi *. freq in
+  let m = Cmat.of_real ~imag_scale:omega g c in
+  Cmat.solve m rhs
+
+let solve_at circuit op ~freq = solve_pieces (system circuit op) ~freq
+
+let transfer circuit op ~out ~freqs =
+  let pieces = system circuit op in
+  let response =
+    Array.map
+      (fun freq ->
+        let x = solve_pieces pieces ~freq in
+        if out = Device.ground then Complex.zero else x.(out - 1))
+      freqs
+  in
+  { freqs; response }
+
+let transfer_by_name circuit op ~out ~freqs =
+  transfer circuit op ~out:(Circuit.node circuit out) ~freqs
+
+let default_freqs ?(per_decade = 10) ~f_lo ~f_hi () =
+  if f_lo <= 0. || f_hi <= f_lo then invalid_arg "Ac.default_freqs: bad range";
+  let decades = log10 (f_hi /. f_lo) in
+  let n = Stdlib.max 2 (1 + int_of_float (Float.ceil (decades *. float_of_int per_decade))) in
+  Yield_numeric.Vec.logspace f_lo f_hi n

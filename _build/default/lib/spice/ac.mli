@@ -1,0 +1,19 @@
+(** Small-signal AC analysis around a converged DC operating point. *)
+
+type bode = {
+  freqs : float array;  (** Hz, strictly increasing *)
+  response : Complex.t array;  (** complex transfer values, same length *)
+}
+
+val solve_at : Circuit.t -> Dcop.t -> freq:float -> Complex.t array
+(** Full small-signal solution vector at one frequency. *)
+
+val transfer : Circuit.t -> Dcop.t -> out:Device.node -> freqs:float array -> bode
+(** Response observed at node [out] for each frequency, driven by the AC
+    magnitudes declared on the circuit's independent sources. *)
+
+val transfer_by_name :
+  Circuit.t -> Dcop.t -> out:string -> freqs:float array -> bode
+
+val default_freqs : ?per_decade:int -> f_lo:float -> f_hi:float -> unit -> float array
+(** Logarithmically spaced grid, default 10 points per decade. *)

@@ -1,0 +1,135 @@
+type t = {
+  names : (string, Device.node) Hashtbl.t;
+  mutable index_to_name : string array;  (* position i holds node i's name *)
+  mutable next : Device.node;
+  mutable devices_rev : Device.t list;
+  device_names : (string, unit) Hashtbl.t;
+  mutable nodesets : (Device.node * float) list;
+  mutable cache : Device.t array option;
+}
+
+let create () =
+  let names = Hashtbl.create 32 in
+  Hashtbl.replace names "0" Device.ground;
+  Hashtbl.replace names "gnd" Device.ground;
+  Hashtbl.replace names "GND" Device.ground;
+  {
+    names;
+    index_to_name = [| "0" |];
+    next = 1;
+    devices_rev = [];
+    device_names = Hashtbl.create 32;
+    nodesets = [];
+    cache = None;
+  }
+
+let node c name =
+  match Hashtbl.find_opt c.names name with
+  | Some n -> n
+  | None ->
+      let n = c.next in
+      c.next <- n + 1;
+      Hashtbl.replace c.names name n;
+      if n >= Array.length c.index_to_name then begin
+        let grown = Array.make (2 * (n + 1)) "" in
+        Array.blit c.index_to_name 0 grown 0 (Array.length c.index_to_name);
+        c.index_to_name <- grown
+      end;
+      c.index_to_name.(n) <- name;
+      n
+
+let node_name c n =
+  if n < 0 || n >= c.next || (n > 0 && c.index_to_name.(n) = "") then
+    raise Not_found;
+  c.index_to_name.(n)
+
+let node_count c = c.next - 1
+
+let add c dev =
+  let dname = Device.name dev in
+  if Hashtbl.mem c.device_names dname then
+    invalid_arg ("Circuit.add: duplicate device name " ^ dname);
+  Hashtbl.replace c.device_names dname ();
+  c.devices_rev <- dev :: c.devices_rev;
+  c.cache <- None
+
+let nodeset c n v = c.nodesets <- (n, v) :: c.nodesets
+
+let nodesets c = c.nodesets
+
+let devices c =
+  match c.cache with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (List.rev c.devices_rev) in
+      c.cache <- Some a;
+      a
+
+let find_device c name =
+  let rec search = function
+    | [] -> raise Not_found
+    | dev :: rest -> if Device.name dev = name then dev else search rest
+  in
+  search c.devices_rev
+
+let replace_device c name f =
+  if not (Hashtbl.mem c.device_names name) then raise Not_found;
+  c.devices_rev <-
+    List.map
+      (fun dev -> if Device.name dev = name then f dev else dev)
+      c.devices_rev;
+  c.cache <- None
+
+let map_devices c f =
+  let devs = List.rev_map f c.devices_rev in
+  {
+    names = Hashtbl.copy c.names;
+    index_to_name = Array.copy c.index_to_name;
+    next = c.next;
+    devices_rev = List.rev devs;
+    device_names = Hashtbl.copy c.device_names;
+    nodesets = c.nodesets;
+    cache = None;
+  }
+
+let add_resistor c ~name n1 n2 ohms =
+  add c (Device.Resistor { name; n1 = node c n1; n2 = node c n2; ohms })
+
+let add_capacitor c ~name n1 n2 farads =
+  add c (Device.Capacitor { name; n1 = node c n1; n2 = node c n2; farads })
+
+let add_vsource c ~name ?(ac = 0.) ?(wave = Device.Constant) npos nneg dc =
+  add c
+    (Device.Vsource
+       { name; npos = node c npos; nneg = node c nneg; dc; ac; wave })
+
+let add_isource c ~name ?(ac = 0.) ?(wave = Device.Constant) npos nneg dc =
+  add c
+    (Device.Isource
+       { name; npos = node c npos; nneg = node c nneg; dc; ac; wave })
+
+let add_vccs c ~name ~out_p ~out_n ~in_p ~in_n gm =
+  add c
+    (Device.Vccs
+       {
+         name;
+         out_p = node c out_p;
+         out_n = node c out_n;
+         in_p = node c in_p;
+         in_n = node c in_n;
+         gm;
+       })
+
+let add_mosfet c ~name ~d ~g ~s ~b ~model ~w ~l =
+  add c
+    (Device.Mosfet
+       {
+         name;
+         d = node c d;
+         g = node c g;
+         s = node c s;
+         b = node c b;
+         model;
+         w;
+         l;
+       })

@@ -1,0 +1,62 @@
+(** A circuit under construction: a node name table, a device list and
+    optional initial-guess hints ([nodeset]) for the DC solver. *)
+
+type t
+
+val create : unit -> t
+
+val node : t -> string -> Device.node
+(** [node c name] interns [name], creating a fresh node index on first use.
+    The names ["0"], ["gnd"] and ["GND"] all map to ground. *)
+
+val node_name : t -> Device.node -> string
+(** Inverse lookup.  @raise Not_found for unknown indices. *)
+
+val node_count : t -> int
+(** Number of non-ground nodes. *)
+
+val add : t -> Device.t -> unit
+(** @raise Invalid_argument if a device with the same name already exists. *)
+
+val nodeset : t -> Device.node -> float -> unit
+(** Provide an initial guess for the DC solve. *)
+
+val nodesets : t -> (Device.node * float) list
+
+val devices : t -> Device.t array
+(** Devices in insertion order. *)
+
+val find_device : t -> string -> Device.t
+(** @raise Not_found if absent. *)
+
+val replace_device : t -> string -> (Device.t -> Device.t) -> unit
+(** [replace_device c name f] substitutes the named device with [f dev];
+    used to apply Monte Carlo parameter overrides without rebuilding the
+    topology.  @raise Not_found if absent. *)
+
+val map_devices : t -> (Device.t -> Device.t) -> t
+(** [map_devices c f] is a fresh circuit with the same node table and
+    nodesets, and devices [f dev] in order; [c] is left untouched.  Used to
+    apply per-sample Monte Carlo perturbations without rebuilding topology. *)
+
+(** Convenience builders; node arguments are names. *)
+
+val add_resistor : t -> name:string -> string -> string -> float -> unit
+
+val add_capacitor : t -> name:string -> string -> string -> float -> unit
+
+val add_vsource :
+  t -> name:string -> ?ac:float -> ?wave:Device.waveform -> string -> string ->
+  float -> unit
+
+val add_isource :
+  t -> name:string -> ?ac:float -> ?wave:Device.waveform -> string -> string ->
+  float -> unit
+
+val add_vccs :
+  t -> name:string -> out_p:string -> out_n:string -> in_p:string -> in_n:string ->
+  float -> unit
+
+val add_mosfet :
+  t -> name:string -> d:string -> g:string -> s:string -> b:string ->
+  model:Mosfet.model -> w:float -> l:float -> unit

@@ -1,0 +1,155 @@
+module Vec = Yield_numeric.Vec
+module Lu = Yield_numeric.Lu
+
+type t = {
+  x : Vec.t;
+  layout : Mna.layout;
+  mos_ops : (string * Mosfet.op) list;
+  iterations : int;
+}
+
+type options = {
+  max_iterations : int;
+  vtol : float;
+  max_step : float;
+  gmin : float;
+}
+
+let default_options =
+  { max_iterations = 150; vtol = 1e-9; max_step = 0.5; gmin = 1e-12 }
+
+type error =
+  | No_convergence of { attempts : string list }
+  | Singular_system of string
+
+let error_to_string = function
+  | No_convergence { attempts } ->
+      "dcop: no convergence after " ^ String.concat ", " attempts
+  | Singular_system what -> "dcop: singular system in " ^ what
+
+(* One damped-Newton run at fixed gmin and source scaling.  Returns the
+   solution and iteration count, or None on failure. *)
+let newton circuit layout options ~source_scale ~gmin ~x0 =
+  let n = Mna.size layout in
+  let x = Array.copy x0 in
+  let rec iterate i =
+    if i >= options.max_iterations then None
+    else begin
+      let g, rhs = Mna.assemble_dc circuit layout ~x ~source_scale ~gmin in
+      match Lu.factor g with
+      | exception Lu.Singular _ -> None
+      | f ->
+          let x_new = Lu.solve f rhs in
+          let delta = ref 0. in
+          for k = 0 to n - 1 do
+            let dk = x_new.(k) -. x.(k) in
+            let node_unknown = k < Mna.n_nodes layout in
+            (* clamp only node voltages; branch currents may move freely *)
+            let dk_clamped =
+              if node_unknown then
+                Float.max (-.options.max_step) (Float.min options.max_step dk)
+              else dk
+            in
+            delta := Float.max !delta (Float.abs dk);
+            x.(k) <- x.(k) +. dk_clamped
+          done;
+          if
+            !delta < options.vtol
+            && Float.is_finite !delta
+          then Some (x, i + 1)
+          else if not (Array.for_all Float.is_finite x) then None
+          else iterate (i + 1)
+    end
+  in
+  iterate 0
+
+let initial_guess circuit layout =
+  let x = Vec.create (Mna.size layout) in
+  List.iter
+    (fun (node, v) -> if node <> Device.ground then x.(node - 1) <- v)
+    (Circuit.nodesets circuit);
+  x
+
+let solve ?(options = default_options) circuit =
+  let layout = Mna.layout circuit in
+  let x0 = initial_guess circuit layout in
+  let attempts = ref [] in
+  let note what = attempts := what :: !attempts in
+  let finish (x, iterations) =
+    Ok { x; layout; mos_ops = Mna.mos_operating_points circuit ~x; iterations }
+  in
+  note "newton";
+  match newton circuit layout options ~source_scale:1. ~gmin:options.gmin ~x0 with
+  | Some result -> finish result
+  | None -> begin
+      (* gmin stepping: converge a heavily damped system, then relax *)
+      note "gmin-stepping";
+      let steps = [ 1e-3; 1e-5; 1e-7; 1e-9; 1e-11; options.gmin ] in
+      let rec gmin_walk x = function
+        | [] -> Some x
+        | gmin :: rest -> begin
+            match newton circuit layout options ~source_scale:1. ~gmin ~x0:x with
+            | Some (x', _) -> gmin_walk x' rest
+            | None -> None
+          end
+      in
+      let gmin_result =
+        match gmin_walk x0 steps with
+        | Some x -> newton circuit layout options ~source_scale:1. ~gmin:options.gmin ~x0:x
+        | None -> None
+      in
+      match gmin_result with
+      | Some result -> finish result
+      | None -> begin
+          (* source stepping: ramp the supplies *)
+          note "source-stepping";
+          let scales = [ 0.05; 0.1; 0.2; 0.4; 0.6; 0.8; 0.9; 1.0 ] in
+          let rec ramp x = function
+            | [] -> Some x
+            | scale :: rest -> begin
+                match
+                  newton circuit layout options ~source_scale:scale
+                    ~gmin:options.gmin ~x0:x
+                with
+                | Some (x', _) -> ramp x' rest
+                | None -> None
+              end
+          in
+          match ramp x0 scales with
+          | Some x -> begin
+              match
+                newton circuit layout options ~source_scale:1. ~gmin:options.gmin
+                  ~x0:x
+              with
+              | Some result -> finish result
+              | None -> Error (No_convergence { attempts = List.rev !attempts })
+            end
+          | None -> Error (No_convergence { attempts = List.rev !attempts })
+        end
+    end
+
+let voltage t node = Mna.voltage t.x node
+
+let voltage_by_name t circuit name = voltage t (Circuit.node circuit name)
+
+let branch_current t name = t.x.(Mna.branch_index t.layout name)
+
+let mos_op t name = List.assoc name t.mos_ops
+
+let pp circuit ppf t =
+  Format.fprintf ppf "@[<v>operating point (%d Newton iterations)@," t.iterations;
+  for n = 1 to Mna.n_nodes t.layout do
+    match Circuit.node_name circuit n with
+    | name -> Format.fprintf ppf "  v(%s) = %.6g V@," name (voltage t n)
+    | exception Not_found -> ()
+  done;
+  List.iter
+    (fun (name, op) ->
+      Format.fprintf ppf
+        "  %s: %s ids=%.4g gm=%.4g gds=%.4g vgs=%.4g vds=%.4g vdsat=%.4g@,"
+        name
+        (Mosfet.region_to_string op.Mosfet.region)
+        op.Mosfet.ids op.Mosfet.gm op.Mosfet.gds op.Mosfet.vgs op.Mosfet.vds
+        op.Mosfet.vdsat)
+    t.mos_ops;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** DC operating-point analysis: damped Newton–Raphson on the MNA system,
+    with gmin-stepping and source-stepping homotopies as fallbacks. *)
+
+type t = {
+  x : Yield_numeric.Vec.t;  (** converged unknown vector *)
+  layout : Mna.layout;
+  mos_ops : (string * Mosfet.op) list;
+  iterations : int;  (** Newton iterations of the final (full-source) solve *)
+}
+
+type options = {
+  max_iterations : int;  (** per Newton attempt; default 150 *)
+  vtol : float;  (** voltage convergence tolerance; default 1e-9 *)
+  max_step : float;  (** per-iteration voltage step clamp, V; default 0.5 *)
+  gmin : float;  (** baseline node-to-ground conductance; default 1e-12 *)
+}
+
+val default_options : options
+
+type error =
+  | No_convergence of { attempts : string list }
+  | Singular_system of string
+
+val error_to_string : error -> string
+
+val solve : ?options:options -> Circuit.t -> (t, error) result
+
+val voltage : t -> Device.node -> float
+
+val voltage_by_name : t -> Circuit.t -> string -> float
+(** @raise Not_found for an unknown node name. *)
+
+val branch_current : t -> string -> float
+(** Current through the named voltage source.
+    @raise Not_found if there is no such source. *)
+
+val mos_op : t -> string -> Mosfet.op
+(** @raise Not_found for an unknown MOSFET. *)
+
+val pp : Circuit.t -> Format.formatter -> t -> unit
+(** Human-readable operating-point report (node voltages and device bias). *)

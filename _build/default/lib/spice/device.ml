@@ -1,0 +1,93 @@
+type node = int
+
+let ground = 0
+
+type waveform =
+  | Constant
+  | Pulse of {
+      v1 : float;
+      v2 : float;
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;
+    }
+  | Sine of { offset : float; amplitude : float; freq : float; phase_deg : float }
+
+let waveform_value wave ~dc t =
+  match wave with
+  | Constant -> dc
+  | Sine { offset; amplitude; freq; phase_deg } ->
+      offset
+      +. amplitude
+         *. sin ((2. *. Float.pi *. freq *. t) +. (phase_deg *. Float.pi /. 180.))
+  | Pulse { v1; v2; delay; rise; fall; width; period } ->
+      if t < delay then v1
+      else begin
+        let t' =
+          let cycle = t -. delay in
+          if period > 0. && Float.is_finite period then Float.rem cycle period
+          else cycle
+        in
+        if t' < rise then
+          if rise <= 0. then v2 else v1 +. ((v2 -. v1) *. t' /. rise)
+        else if t' < rise +. width then v2
+        else if t' < rise +. width +. fall then
+          if fall <= 0. then v1
+          else v2 +. ((v1 -. v2) *. (t' -. rise -. width) /. fall)
+        else v1
+      end
+
+type t =
+  | Resistor of { name : string; n1 : node; n2 : node; ohms : float }
+  | Capacitor of { name : string; n1 : node; n2 : node; farads : float }
+  | Vsource of {
+      name : string;
+      npos : node;
+      nneg : node;
+      dc : float;
+      ac : float;
+      wave : waveform;
+    }
+  | Isource of {
+      name : string;
+      npos : node;
+      nneg : node;
+      dc : float;
+      ac : float;
+      wave : waveform;
+    }
+  | Vccs of {
+      name : string;
+      out_p : node;
+      out_n : node;
+      in_p : node;
+      in_n : node;
+      gm : float;
+    }
+  | Mosfet of {
+      name : string;
+      d : node;
+      g : node;
+      s : node;
+      b : node;
+      model : Mosfet.model;
+      w : float;
+      l : float;
+    }
+
+let name = function
+  | Resistor { name; _ }
+  | Capacitor { name; _ }
+  | Vsource { name; _ }
+  | Isource { name; _ }
+  | Vccs { name; _ }
+  | Mosfet { name; _ } ->
+      name
+
+let nodes = function
+  | Resistor { n1; n2; _ } | Capacitor { n1; n2; _ } -> [ n1; n2 ]
+  | Vsource { npos; nneg; _ } | Isource { npos; nneg; _ } -> [ npos; nneg ]
+  | Vccs { out_p; out_n; in_p; in_n; _ } -> [ out_p; out_n; in_p; in_n ]
+  | Mosfet { d; g; s; b; _ } -> [ d; g; s; b ]

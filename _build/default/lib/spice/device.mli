@@ -1,0 +1,72 @@
+(** Circuit elements.
+
+    Nodes are integers; node 0 is ground.  Sign conventions follow SPICE:
+    for sources, positive current flows out of the positive terminal through
+    the external circuit. *)
+
+type node = int
+
+val ground : node
+
+type waveform =
+  | Constant
+      (** hold the DC value for all time *)
+  | Pulse of {
+      v1 : float;  (** initial level *)
+      v2 : float;  (** pulsed level *)
+      delay : float;  (** s *)
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;  (** 0 or infinite = single pulse *)
+    }
+  | Sine of { offset : float; amplitude : float; freq : float; phase_deg : float }
+
+val waveform_value : waveform -> dc:float -> float -> float
+(** Source value at a given time; [Constant] returns [dc]. *)
+
+type t =
+  | Resistor of { name : string; n1 : node; n2 : node; ohms : float }
+  | Capacitor of { name : string; n1 : node; n2 : node; farads : float }
+  | Vsource of {
+      name : string;
+      npos : node;
+      nneg : node;
+      dc : float;
+      ac : float;
+      wave : waveform;
+    }
+  | Isource of {
+      name : string;
+      npos : node;
+      nneg : node;
+      dc : float;
+      ac : float;
+      wave : waveform;
+    }
+      (** DC current [dc] flows from [npos] to [nneg] inside the source,
+          i.e. it is injected into node [nneg] and drawn from [npos]. *)
+  | Vccs of {
+      name : string;
+      out_p : node;
+      out_n : node;
+      in_p : node;
+      in_n : node;
+      gm : float;
+    }
+      (** Current [gm * v(in_p, in_n)] flows from [out_p] to [out_n]. *)
+  | Mosfet of {
+      name : string;
+      d : node;
+      g : node;
+      s : node;
+      b : node;
+      model : Mosfet.model;
+      w : float;  (** metres *)
+      l : float;  (** metres *)
+    }
+
+val name : t -> string
+
+val nodes : t -> node list
+(** All terminals, in declaration order. *)

@@ -1,0 +1,84 @@
+let magnitude_db z =
+  let m = Complex.norm z in
+  if m <= 0. then neg_infinity else 20. *. log10 m
+
+let phase_deg z = Complex.arg z *. 180. /. Float.pi
+
+let magnitudes_db (b : Ac.bode) = Array.map magnitude_db b.response
+
+let phases_deg_unwrapped (b : Ac.bode) =
+  let n = Array.length b.response in
+  let out = Array.make n 0. in
+  if n > 0 then begin
+    out.(0) <- phase_deg b.response.(0);
+    for i = 1 to n - 1 do
+      let raw = phase_deg b.response.(i) in
+      (* remove 360-degree wraps relative to the previous point *)
+      let diff = raw -. out.(i - 1) in
+      let wraps = Float.round (diff /. 360.) in
+      out.(i) <- raw -. (360. *. wraps)
+    done
+  end;
+  out
+
+let dc_gain_db b =
+  if Array.length b.Ac.response = 0 then invalid_arg "Measure.dc_gain_db: empty";
+  magnitude_db b.Ac.response.(0)
+
+let crossing ~xs ~ys ~level ?(log_x = true) () =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Measure.crossing: length mismatch";
+  let rec scan i =
+    if i >= n - 1 then None
+    else if ys.(i) >= level && ys.(i + 1) < level then begin
+      let y0 = ys.(i) and y1 = ys.(i + 1) in
+      if y0 = y1 then Some xs.(i)
+      else begin
+        let t = (y0 -. level) /. (y0 -. y1) in
+        if log_x then
+          Some (exp (log xs.(i) +. (t *. (log xs.(i + 1) -. log xs.(i)))))
+        else Some (xs.(i) +. (t *. (xs.(i + 1) -. xs.(i))))
+      end
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let interp_at ~xs ~ys x ~log_x =
+  let n = Array.length xs in
+  if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    let rec find i = if xs.(i + 1) >= x then i else find (i + 1) in
+    let i = find 0 in
+    let t =
+      if log_x then (log x -. log xs.(i)) /. (log xs.(i + 1) -. log xs.(i))
+      else (x -. xs.(i)) /. (xs.(i + 1) -. xs.(i))
+    in
+    ys.(i) +. (t *. (ys.(i + 1) -. ys.(i)))
+  end
+
+let unity_gain_freq b =
+  crossing ~xs:b.Ac.freqs ~ys:(magnitudes_db b) ~level:0. ()
+
+let phase_margin_deg b =
+  match unity_gain_freq b with
+  | None -> None
+  | Some fu ->
+      let phases = phases_deg_unwrapped b in
+      let phase_u = interp_at ~xs:b.Ac.freqs ~ys:phases fu ~log_x:true in
+      Some (180. +. phase_u)
+
+let gain_margin_db b =
+  let phases = phases_deg_unwrapped b in
+  match crossing ~xs:b.Ac.freqs ~ys:phases ~level:(-180.) () with
+  | None -> None
+  | Some f180 ->
+      let mag = interp_at ~xs:b.Ac.freqs ~ys:(magnitudes_db b) f180 ~log_x:true in
+      Some (-.mag)
+
+let f3db b =
+  let dc = dc_gain_db b in
+  crossing ~xs:b.Ac.freqs ~ys:(magnitudes_db b) ~level:(dc -. 3.) ()
+
+let gain_at b f = interp_at ~xs:b.Ac.freqs ~ys:(magnitudes_db b) f ~log_x:true

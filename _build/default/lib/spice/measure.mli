@@ -1,0 +1,39 @@
+(** Measurements on sampled transfer functions: the quantities the paper's
+    objective functions are built from. *)
+
+val magnitude_db : Complex.t -> float
+
+val phase_deg : Complex.t -> float
+(** Principal-value phase in degrees, (-180, 180]. *)
+
+val magnitudes_db : Ac.bode -> float array
+
+val phases_deg_unwrapped : Ac.bode -> float array
+(** Phase with 360-degree jumps removed, anchored at the first point. *)
+
+val dc_gain_db : Ac.bode -> float
+(** Magnitude at the lowest sampled frequency. *)
+
+val unity_gain_freq : Ac.bode -> float option
+(** First 0 dB downward crossing, log-interpolated between samples; [None]
+    when the magnitude never reaches unity from above. *)
+
+val phase_margin_deg : Ac.bode -> float option
+(** [180 + phase(f_unity)] using the unwrapped phase; [None] when there is no
+    unity crossing. *)
+
+val gain_margin_db : Ac.bode -> float option
+(** [-magnitude] at the first -180 degree phase crossing. *)
+
+val f3db : Ac.bode -> float option
+(** Frequency of the first 3 dB drop below the DC gain. *)
+
+val gain_at : Ac.bode -> float -> float
+(** [gain_at bode f]: magnitude in dB, log-interpolated at frequency [f].
+    Clamps to the sampled range. *)
+
+val crossing :
+  xs:float array -> ys:float array -> level:float -> ?log_x:bool -> unit ->
+  float option
+(** First downward crossing of [ys] through [level], interpolated on [xs]
+    (log-spaced interpolation when [log_x]); exposed for tests and reuse. *)

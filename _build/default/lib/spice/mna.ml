@@ -1,0 +1,187 @@
+module Vec = Yield_numeric.Vec
+module Mat = Yield_numeric.Mat
+
+type layout = {
+  n_nodes : int;
+  size : int;
+  branches : (string, int) Hashtbl.t;
+}
+
+let layout circuit =
+  let n_nodes = Circuit.node_count circuit in
+  let branches = Hashtbl.create 8 in
+  let next = ref n_nodes in
+  Array.iter
+    (fun dev ->
+      match dev with
+      | Device.Vsource { name; _ } ->
+          Hashtbl.replace branches name !next;
+          incr next
+      | Device.Resistor _ | Device.Capacitor _ | Device.Isource _
+      | Device.Vccs _ | Device.Mosfet _ ->
+          ())
+    (Circuit.devices circuit);
+  { n_nodes; size = !next; branches }
+
+let size l = l.size
+
+let n_nodes l = l.n_nodes
+
+let branch_index l name = Hashtbl.find l.branches name
+
+let voltage x n = if n = Device.ground then 0. else x.(n - 1)
+
+(* Stamping helpers; ground rows and columns are skipped. *)
+
+let stamp_g m a b g =
+  if a <> Device.ground then Mat.add_to m (a - 1) (a - 1) g;
+  if b <> Device.ground then Mat.add_to m (b - 1) (b - 1) g;
+  if a <> Device.ground && b <> Device.ground then begin
+    Mat.add_to m (a - 1) (b - 1) (-.g);
+    Mat.add_to m (b - 1) (a - 1) (-.g)
+  end
+
+(* transconductance: current [g * v(cp, cn)] leaves node [op] and enters
+   node [on] *)
+let stamp_gm m op_node on_node cp cn g =
+  let entry row col sign =
+    if row <> Device.ground && col <> Device.ground then
+      Mat.add_to m (row - 1) (col - 1) (sign *. g)
+  in
+  entry op_node cp 1.;
+  entry op_node cn (-1.);
+  entry on_node cp (-1.);
+  entry on_node cn 1.
+
+let inject rhs node value =
+  if node <> Device.ground then rhs.(node - 1) <- rhs.(node - 1) +. value
+
+(* NMOS-normalised linearisation of a MOSFET at the guess [x].  Returns the
+   operating point plus the device-convention drain current [ids_eff] (the
+   current entering the drain terminal). *)
+let mos_linearise ~model ~w ~l ~d ~g ~s ~b x =
+  let vd = voltage x d
+  and vg = voltage x g
+  and vs = voltage x s
+  and vb = voltage x b in
+  let vgs, vds, vbs =
+    match model.Mosfet.polarity with
+    | Mosfet.Nmos -> (vg -. vs, vd -. vs, vb -. vs)
+    | Mosfet.Pmos -> (vs -. vg, vs -. vd, vs -. vb)
+  in
+  let op = Mosfet.eval model ~w ~l ~vgs ~vds ~vbs in
+  let ids_eff =
+    match model.Mosfet.polarity with
+    | Mosfet.Nmos -> op.Mosfet.ids
+    | Mosfet.Pmos -> -.op.Mosfet.ids
+  in
+  (op, ids_eff)
+
+let stamp_conductance = stamp_g
+
+let stamp_transconductance m ~out_p ~out_n ~in_p ~in_n g =
+  stamp_gm m out_p out_n in_p in_n g
+
+let stamp_branch m l ~name ~npos ~nneg =
+  let br = Hashtbl.find l.branches name in
+  if npos <> Device.ground then begin
+    Mat.add_to m (npos - 1) br 1.;
+    Mat.add_to m br (npos - 1) 1.
+  end;
+  if nneg <> Device.ground then begin
+    Mat.add_to m (nneg - 1) br (-1.);
+    Mat.add_to m br (nneg - 1) (-1.)
+  end
+
+let stamp_mosfet_dc mat rhs ~x ~d ~g:gate ~s ~b ~model ~w ~l =
+  let op, ids_eff = mos_linearise ~model ~w ~l ~d ~g:gate ~s ~b x in
+  let gm = op.Mosfet.gm and gds = op.Mosfet.gds and gmb = op.Mosfet.gmb in
+  stamp_gm mat d s gate s gm;
+  stamp_g mat d s gds;
+  stamp_gm mat d s b s gmb;
+  let vd = voltage x d
+  and vg = voltage x gate
+  and vs = voltage x s
+  and vb = voltage x b in
+  let linear_current =
+    (gm *. (vg -. vs)) +. (gds *. (vd -. vs)) +. (gmb *. (vb -. vs))
+  in
+  let ieq = linear_current -. ids_eff in
+  inject rhs d ieq;
+  inject rhs s (-.ieq);
+  op
+
+let assemble_dc circuit l ~x ~source_scale ~gmin =
+  let g = Mat.create l.size l.size in
+  let rhs = Vec.create l.size in
+  for i = 0 to l.n_nodes - 1 do
+    Mat.add_to g i i gmin
+  done;
+  let stamp_device dev =
+    match dev with
+    | Device.Resistor { n1; n2; ohms; _ } -> stamp_g g n1 n2 (1. /. ohms)
+    | Device.Capacitor _ -> ()
+    | Device.Vsource { name; npos; nneg; dc; _ } ->
+        stamp_branch g l ~name ~npos ~nneg;
+        rhs.(Hashtbl.find l.branches name) <- dc *. source_scale
+    | Device.Isource { npos; nneg; dc; _ } ->
+        inject rhs npos (-.dc *. source_scale);
+        inject rhs nneg (dc *. source_scale)
+    | Device.Vccs { out_p; out_n; in_p; in_n; gm; _ } ->
+        stamp_gm g out_p out_n in_p in_n gm
+    | Device.Mosfet { d; g = gate; s; b; model; w; l = len; _ } ->
+        (* For both polarities, in node-voltage terms:
+             d ids_eff/d vg = gm, d/d vd = gds, d/d vb = gmb,
+             d/d vs = -(gm + gds + gmb).
+           (For PMOS the two sign flips cancel.) *)
+        ignore (stamp_mosfet_dc g rhs ~x ~d ~g:gate ~s ~b ~model ~w ~l:len)
+  in
+  Array.iter stamp_device (Circuit.devices circuit);
+  (g, rhs)
+
+let mos_operating_points circuit ~x =
+  let collect acc dev =
+    match dev with
+    | Device.Mosfet { name; d; g; s; b; model; w; l } ->
+        let op, _ = mos_linearise ~model ~w ~l ~d ~g ~s ~b x in
+        (name, op) :: acc
+    | Device.Resistor _ | Device.Capacitor _ | Device.Vsource _
+    | Device.Isource _ | Device.Vccs _ ->
+        acc
+  in
+  List.rev (Array.fold_left collect [] (Circuit.devices circuit))
+
+let assemble_ac circuit l ~ops =
+  let g = Mat.create l.size l.size in
+  let c = Mat.create l.size l.size in
+  let rhs = Array.make l.size Complex.zero in
+  let stamp_device dev =
+    match dev with
+    | Device.Resistor { n1; n2; ohms; _ } -> stamp_g g n1 n2 (1. /. ohms)
+    | Device.Capacitor { n1; n2; farads; _ } -> stamp_g c n1 n2 farads
+    | Device.Vsource { name; npos; nneg; ac; _ } ->
+        stamp_branch g l ~name ~npos ~nneg;
+        rhs.(Hashtbl.find l.branches name) <- { Complex.re = ac; im = 0. }
+    | Device.Isource { npos; nneg; ac; _ } ->
+        if npos <> Device.ground then
+          rhs.(npos - 1) <- Complex.add rhs.(npos - 1) { Complex.re = -.ac; im = 0. };
+        if nneg <> Device.ground then
+          rhs.(nneg - 1) <- Complex.add rhs.(nneg - 1) { Complex.re = ac; im = 0. }
+    | Device.Vccs { out_p; out_n; in_p; in_n; gm; _ } ->
+        stamp_gm g out_p out_n in_p in_n gm
+    | Device.Mosfet { name; d; g = gate; s; b; _ } ->
+        let op = ops name in
+        stamp_gm g d s gate s op.Mosfet.gm;
+        stamp_g g d s op.Mosfet.gds;
+        stamp_gm g d s b s op.Mosfet.gmb;
+        stamp_g c gate s op.Mosfet.cgs;
+        stamp_g c gate d op.Mosfet.cgd;
+        stamp_g c d b op.Mosfet.cdb;
+        stamp_g c s b op.Mosfet.csb
+  in
+  Array.iter stamp_device (Circuit.devices circuit);
+  (* small leak keeps floating nodes (e.g. pure-capacitive) solvable *)
+  for i = 0 to l.n_nodes - 1 do
+    Mat.add_to g i i 1e-12
+  done;
+  (g, c, rhs)

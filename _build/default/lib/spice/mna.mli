@@ -1,0 +1,67 @@
+(** Modified nodal analysis: system layout and matrix stamping.
+
+    Unknown vector layout: entries [0 .. n_nodes-1] are the voltages of nodes
+    [1 .. n_nodes] (ground is eliminated), followed by one branch current per
+    voltage source, in device order. *)
+
+type layout
+
+val layout : Circuit.t -> layout
+
+val size : layout -> int
+
+val n_nodes : layout -> int
+
+val branch_index : layout -> string -> int
+(** Unknown-vector index of the branch current of the named voltage source.
+    @raise Not_found if there is no such source. *)
+
+val voltage : Yield_numeric.Vec.t -> Device.node -> float
+(** Node voltage under the layout convention; ground reads 0. *)
+
+val assemble_dc :
+  Circuit.t -> layout -> x:Yield_numeric.Vec.t -> source_scale:float -> gmin:float ->
+  Yield_numeric.Mat.t * Yield_numeric.Vec.t
+(** Newton-linearised DC system around the guess [x]: returns [(g, rhs)] such
+    that solving [g x' = rhs] yields the next iterate.  [source_scale] scales
+    all independent sources (for source-stepping homotopy); [gmin] is a
+    conductance added from every node to ground. *)
+
+val mos_operating_points :
+  Circuit.t -> x:Yield_numeric.Vec.t -> (string * Mosfet.op) list
+(** Device-convention operating point of every MOSFET at the solution [x]
+    (PMOS currents and voltages reported NMOS-normalised, as produced by
+    {!Mosfet.eval} on the flipped bias). *)
+
+(** Low-level stamping primitives, shared with the transient engine. *)
+
+val stamp_conductance : Yield_numeric.Mat.t -> Device.node -> Device.node -> float -> unit
+(** Two-terminal conductance between two nodes (ground rows skipped). *)
+
+val stamp_transconductance :
+  Yield_numeric.Mat.t -> out_p:Device.node -> out_n:Device.node ->
+  in_p:Device.node -> in_n:Device.node -> float -> unit
+(** Current [g * v(in_p, in_n)] leaving [out_p], entering [out_n]. *)
+
+val stamp_branch :
+  Yield_numeric.Mat.t -> layout -> name:string -> npos:Device.node ->
+  nneg:Device.node -> unit
+(** Voltage-source branch rows/columns (without the RHS value). *)
+
+val inject : Yield_numeric.Vec.t -> Device.node -> float -> unit
+(** Add a current injection into a node's KCL right-hand side. *)
+
+val stamp_mosfet_dc :
+  Yield_numeric.Mat.t -> Yield_numeric.Vec.t -> x:Yield_numeric.Vec.t ->
+  d:Device.node -> g:Device.node -> s:Device.node -> b:Device.node ->
+  model:Mosfet.model -> w:float -> l:float -> Mosfet.op
+(** Newton-linearised MOSFET stamp around the guess [x]; returns the
+    normalised operating point used. *)
+
+val assemble_ac :
+  Circuit.t -> layout -> ops:(string -> Mosfet.op) ->
+  Yield_numeric.Mat.t * Yield_numeric.Mat.t * Complex.t array
+(** Small-signal system pieces: [(g, c, rhs)] with the full system
+    [ (g + jw c) x = rhs ], where [rhs] carries the AC magnitudes of the
+    independent sources.  [ops] maps MOSFET names to their DC operating
+    points. *)

@@ -1,0 +1,153 @@
+type polarity = Nmos | Pmos
+
+type model = {
+  polarity : polarity;
+  vth0 : float;
+  kp : float;
+  gamma : float;
+  phi : float;
+  lambda0 : float;
+  n_slope : float;
+  cox : float;
+  cgso : float;
+  cgdo : float;
+  cj : float;
+  cjsw : float;
+  ext : float;
+}
+
+let temperature_voltage = 0.025852
+
+type region = Cutoff | Weak | Saturation | Triode
+
+type op = {
+  ids : float;
+  gm : float;
+  gds : float;
+  gmb : float;
+  vth : float;
+  vdsat : float;
+  vgs : float;
+  vds : float;
+  vbs : float;
+  region : region;
+  cgs : float;
+  cgd : float;
+  cdb : float;
+  csb : float;
+}
+
+let region_to_string = function
+  | Cutoff -> "cutoff"
+  | Weak -> "weak"
+  | Saturation -> "saturation"
+  | Triode -> "triode"
+
+(* softplus and its derivative, overflow-safe *)
+let softplus x = if x > 40. then x else if x < -40. then exp x else log (1. +. exp x)
+
+let sigmoid x =
+  if x > 40. then 1. else if x < -40. then exp x else 1. /. (1. +. exp (-.x))
+
+(* EKV interpolation function F(x) = ln^2(1 + e^(x/2)) and its derivative. *)
+let ekv_f x =
+  let s = softplus (x /. 2.) in
+  s *. s
+
+let ekv_f' x = softplus (x /. 2.) *. sigmoid (x /. 2.)
+
+let with_deltas m ~dvth ~dkp_rel ~dlambda_rel =
+  {
+    m with
+    vth0 = m.vth0 +. dvth;
+    kp = m.kp *. (1. +. dkp_rel);
+    lambda0 = m.lambda0 *. (1. +. dlambda_rel);
+  }
+
+(* Forward evaluation for vds >= 0, NMOS convention. *)
+let eval_forward m ~w ~l ~vgs ~vds ~vbs =
+  let vt = temperature_voltage in
+  let n = m.n_slope in
+  (* body effect: vbs <= 0 increases vth.  Clamp the sqrt argument so Newton
+     excursions into forward body bias do not produce NaN. *)
+  let sarg = Float.max 0.05 (m.phi -. vbs) in
+  let vth = m.vth0 +. (m.gamma *. (sqrt sarg -. sqrt m.phi)) in
+  let dvth_dvbs = -.(m.gamma /. (2. *. sqrt sarg)) in
+  let lambda = m.lambda0 /. (l *. 1e6) in
+  let beta = m.kp *. w /. l in
+  let i0 = 2. *. n *. beta *. vt *. vt in
+  let a = (vgs -. vth) /. (n *. vt) in
+  let b = (vgs -. vth -. (n *. vds)) /. (n *. vt) in
+  let fa = ekv_f a and fb = ekv_f b in
+  let fa' = ekv_f' a and fb' = ekv_f' b in
+  let clm = 1. +. (lambda *. vds) in
+  let base = i0 *. (fa -. fb) in
+  let ids = base *. clm in
+  (* d a / d vgs = 1/(n vt); d b / d vgs = 1/(n vt); d b / d vds = -1/vt *)
+  let gm = i0 *. (fa' -. fb') /. (n *. vt) *. clm in
+  let gds = (i0 *. fb' /. vt *. clm) +. (base *. lambda) in
+  (* vth depends on vbs: d ids/d vbs = d ids/d vth * dvth/dvbs, and
+     d ids/d vth = -gm *)
+  let gmb = -.gm *. dvth_dvbs in
+  let vdsat = Float.max (2. *. vt) ((vgs -. vth) /. n) in
+  let region =
+    if vgs -. vth < -3. *. n *. vt then Cutoff
+    else if vgs -. vth < 3. *. n *. vt then Weak
+    else if vds > vdsat then Saturation
+    else Triode
+  in
+  (ids, gm, gds, gmb, vth, vdsat, region)
+
+let eval m ~w ~l ~vgs ~vds ~vbs =
+  if w <= 0. || l <= 0. then invalid_arg "Mosfet.eval: non-positive geometry";
+  let reversed = vds < 0. in
+  (* in reverse operation the physical source is the drain terminal *)
+  let vgs', vds', vbs' =
+    if reversed then (vgs -. vds, -.vds, vbs -. vds) else (vgs, vds, vbs)
+  in
+  let ids, gm, gds, gmb, vth, vdsat, region =
+    eval_forward m ~w ~l ~vgs:vgs' ~vds:vds' ~vbs:vbs'
+  in
+  let ids, gm, gds, gmb =
+    if reversed then begin
+      (* I(vgs,vds) = -I'(vgs-vds, -vds); chain rule for the derivatives:
+         dI/dvgs = -gm', dI/dvds = gm' + gds' + gmb', dI/dvbs = -gmb' *)
+      (-.ids, -.gm, gm +. gds +. gmb, -.gmb)
+    end
+    else (ids, gm, gds, gmb)
+  in
+  (* Meyer-style capacitances, blended smoothly across the region
+     boundaries: a discrete switch makes poles (and hence phase margin) jump
+     discontinuously under Monte Carlo perturbations of devices biased near
+     a boundary.  [inversion] fades the intrinsic channel capacitance in as
+     the channel forms; [saturated] slides the gate capacitance between the
+     triode split (1/2, 1/2) and the saturation split (2/3, 0). *)
+  let cox_total = m.cox *. w *. l in
+  let vt = temperature_voltage in
+  let inversion = sigmoid ((vgs' -. vth) /. (2. *. m.n_slope *. vt)) in
+  let saturated = sigmoid ((vds' -. vdsat) /. (2. *. vt)) in
+  let cgs_i =
+    cox_total *. inversion
+    *. ((2. /. 3. *. saturated) +. (0.5 *. (1. -. saturated)))
+  in
+  let cgd_i = cox_total *. inversion *. 0.5 *. (1. -. saturated) in
+  let cgs_f = cgs_i +. (m.cgso *. w) in
+  let cgd_f = cgd_i +. (m.cgdo *. w) in
+  let cgs, cgd = if reversed then (cgd_f, cgs_f) else (cgs_f, cgd_f) in
+  let cjunction = (m.cj *. w *. m.ext) +. (m.cjsw *. ((2. *. m.ext) +. w)) in
+  {
+    ids;
+    gm;
+    gds;
+    gmb;
+    vth;
+    vdsat;
+    vgs;
+    vds;
+    vbs;
+    region;
+    cgs;
+    cgd;
+    cdb = cjunction;
+    csb = cjunction;
+  }

@@ -1,0 +1,395 @@
+exception Parse_error of { line : int; message : string }
+
+type analysis =
+  | Op
+  | Ac_analysis of { per_decade : int; f_lo : float; f_hi : float; out : string }
+  | Tran_analysis of { dt : float; t_stop : float; out : string }
+  | Dc_analysis of {
+      source : string;
+      start : float;
+      stop : float;
+      step : float;
+      out : string;
+    }
+
+let fail line message = raise (Parse_error { line; message })
+
+let suffixes =
+  [
+    ("meg", 1e6); ("t", 1e12); ("g", 1e9); ("k", 1e3); ("m", 1e-3); ("u", 1e-6);
+    ("n", 1e-9); ("p", 1e-12); ("f", 1e-15);
+  ]
+
+let parse_value s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let try_suffix (suffix, scale) =
+    let ls = String.length s and lf = String.length suffix in
+    if ls > lf && String.sub s (ls - lf) lf = suffix then
+      let body = String.sub s 0 (ls - lf) in
+      match float_of_string_opt body with
+      | Some v -> Some (v *. scale)
+      | None -> None
+    else None
+  in
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> begin
+      match List.find_map try_suffix suffixes with
+      | Some v -> v
+      | None -> failwith ("Netlist.parse_value: cannot parse " ^ s)
+    end
+
+let split_fields line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* key=value option fields at the end of a card *)
+let parse_options line_no fields =
+  List.map
+    (fun field ->
+      match String.index_opt field '=' with
+      | None -> fail line_no ("expected key=value, got " ^ field)
+      | Some i ->
+          ( String.lowercase_ascii (String.sub field 0 i),
+            String.sub field (i + 1) (String.length field - i - 1) ))
+    fields
+
+let model_of_options line_no polarity opts =
+  let get key default =
+    match List.assoc_opt key opts with
+    | Some v -> parse_value v
+    | None -> default
+  in
+  let required key =
+    match List.assoc_opt key opts with
+    | Some v -> parse_value v
+    | None -> fail line_no ("missing model parameter " ^ key)
+  in
+  {
+    Mosfet.polarity;
+    vth0 = required "vth0";
+    kp = required "kp";
+    gamma = get "gamma" 0.5;
+    phi = get "phi" 0.7;
+    lambda0 = get "lambda0" 0.05;
+    n_slope = get "n" 1.3;
+    cox = get "cox" 4.5e-3;
+    cgso = get "cgso" 1.2e-10;
+    cgdo = get "cgdo" 1.2e-10;
+    cj = get "cj" 9e-4;
+    cjsw = get "cjsw" 2.5e-10;
+    ext = get "ext" 8.5e-7;
+  }
+
+(* a subcircuit definition: ports plus body cards kept as (line_no, fields) *)
+type subckt = { ports : string list; body : (int * string list) list }
+
+let clean_fields line =
+  let line =
+    match String.index_opt line ';' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '*' then [] else split_fields trimmed
+
+let parse_analysis line_no fields =
+  match fields with
+  | [ ".op" ] -> Op
+  | [ ".ac"; mode; pts; f_lo; f_hi; out ]
+    when String.lowercase_ascii mode = "dec" ->
+      Ac_analysis
+        {
+          per_decade = int_of_float (parse_value pts);
+          f_lo = parse_value f_lo;
+          f_hi = parse_value f_hi;
+          out;
+        }
+  | [ ".tran"; dt; t_stop; out ] ->
+      Tran_analysis { dt = parse_value dt; t_stop = parse_value t_stop; out }
+  | [ ".dc"; source; start; stop; step; out ] ->
+      Dc_analysis
+        {
+          source;
+          start = parse_value start;
+          stop = parse_value stop;
+          step = parse_value step;
+          out;
+        }
+  | _ -> fail line_no ("malformed analysis card: " ^ String.concat " " fields)
+
+let is_analysis_card lower =
+  lower = ".op" || lower = ".ac" || lower = ".tran" || lower = ".dc"
+
+let parse_with_analyses text =
+  let circuit = Circuit.create () in
+  let analyses = ref [] in
+  let models : (string, Mosfet.model) Hashtbl.t = Hashtbl.create 8 in
+  let subckts : (string, subckt) Hashtbl.t = Hashtbl.create 4 in
+  let nodeset_entry rename field line_no =
+    (* v(<node>)=<volts> *)
+    match String.index_opt field '=' with
+    | None -> fail line_no "malformed .nodeset entry"
+    | Some eq ->
+        let lhs = String.sub field 0 eq in
+        let rhs = String.sub field (eq + 1) (String.length field - eq - 1) in
+        let len = String.length lhs in
+        if len < 4 || String.lowercase_ascii (String.sub lhs 0 2) <> "v("
+           || lhs.[len - 1] <> ')'
+        then fail line_no "malformed .nodeset entry"
+        else begin
+          let node_name = rename (String.sub lhs 2 (len - 3)) in
+          Circuit.nodeset circuit (Circuit.node circuit node_name)
+            (parse_value rhs)
+        end
+  in
+  (* [rename] maps node names (instance ports to outer nodes, internals to
+     prefixed names); [prefix] is prepended to device names *)
+  let rec handle_fields ~rename ~prefix line_no fields =
+    match fields with
+    | [] -> ()
+    | card :: rest -> begin
+        let lower = String.lowercase_ascii card in
+        let name = prefix ^ card in
+        match (lower.[0], rest) with
+        | '.', _ when lower = ".end" || lower = ".ends" -> ()
+        | '.', _ when is_analysis_card lower ->
+            if prefix <> "" then
+              fail line_no "analysis cards are not allowed inside .subckt"
+            else analyses := parse_analysis line_no fields :: !analyses
+        | '.', model_name :: kind :: opts when lower = ".model" ->
+            let polarity =
+              match String.lowercase_ascii kind with
+              | "nmos" -> Mosfet.Nmos
+              | "pmos" -> Mosfet.Pmos
+              | other -> fail line_no ("unknown model kind " ^ other)
+            in
+            Hashtbl.replace models model_name
+              (model_of_options line_no polarity (parse_options line_no opts))
+        | '.', entries when lower = ".nodeset" ->
+            List.iter (fun f -> nodeset_entry rename f line_no) entries
+        | '.', _ -> fail line_no ("unknown directive " ^ card)
+        | ('r' | 'R'), [ n1; n2; value ] ->
+            Circuit.add_resistor circuit ~name (rename n1) (rename n2)
+              (parse_value value)
+        | ('c' | 'C'), [ n1; n2; value ] ->
+            Circuit.add_capacitor circuit ~name (rename n1) (rename n2)
+              (parse_value value)
+        | ('v' | 'V'), n1 :: n2 :: value :: opts ->
+            let ac =
+              match parse_options line_no opts |> List.assoc_opt "ac" with
+              | Some v -> parse_value v
+              | None -> 0.
+            in
+            Circuit.add_vsource circuit ~name ~ac (rename n1) (rename n2)
+              (parse_value value)
+        | ('i' | 'I'), n1 :: n2 :: value :: opts ->
+            let ac =
+              match parse_options line_no opts |> List.assoc_opt "ac" with
+              | Some v -> parse_value v
+              | None -> 0.
+            in
+            Circuit.add_isource circuit ~name ~ac (rename n1) (rename n2)
+              (parse_value value)
+        | ('g' | 'G'), [ op; on; ip; inn; value ] ->
+            Circuit.add_vccs circuit ~name ~out_p:(rename op)
+              ~out_n:(rename on) ~in_p:(rename ip) ~in_n:(rename inn)
+              (parse_value value)
+        | ('m' | 'M'), d :: g :: s :: b :: model_name :: opts -> begin
+            match Hashtbl.find_opt models model_name with
+            | None -> fail line_no ("unknown model " ^ model_name)
+            | Some model ->
+                let opts = parse_options line_no opts in
+                let geom key =
+                  match List.assoc_opt key opts with
+                  | Some v -> parse_value v
+                  | None -> fail line_no ("missing " ^ key ^ " on " ^ card)
+                in
+                Circuit.add_mosfet circuit ~name ~d:(rename d) ~g:(rename g)
+                  ~s:(rename s) ~b:(rename b) ~model ~w:(geom "w")
+                  ~l:(geom "l")
+          end
+        | ('x' | 'X'), _ -> begin
+            (* last field is the subckt name, the rest are port connections *)
+            match List.rev rest with
+            | [] -> fail line_no ("malformed instance: " ^ card)
+            | sub_name :: rev_nodes -> begin
+                match Hashtbl.find_opt subckts sub_name with
+                | None -> fail line_no ("unknown subcircuit " ^ sub_name)
+                | Some { ports; body } ->
+                    let nodes = List.rev rev_nodes in
+                    if List.length nodes <> List.length ports then
+                      fail line_no
+                        (Printf.sprintf "%s: %d connections for %d ports" card
+                           (List.length nodes) (List.length ports));
+                    (* ports bind to the (renamed) outer nodes; everything
+                       else becomes instance-local *)
+                    let binding =
+                      List.map2 (fun p n -> (p, rename n)) ports nodes
+                    in
+                    let inner_prefix = prefix ^ card ^ "." in
+                    let rename' node_name =
+                      if node_name = "0" || node_name = "gnd" || node_name = "GND"
+                      then node_name
+                      else
+                        match List.assoc_opt node_name binding with
+                        | Some outer -> outer
+                        | None -> inner_prefix ^ node_name
+                    in
+                    List.iter
+                      (fun (body_line, body_fields) ->
+                        handle_fields ~rename:rename' ~prefix:inner_prefix
+                          body_line body_fields)
+                      body
+              end
+          end
+        | _, _ -> fail line_no ("malformed card: " ^ String.concat " " fields)
+      end
+  in
+  (* first pass: separate subcircuit definitions from top-level cards *)
+  let top = ref [] in
+  let pending : (string * string list * (int * string list) list ref) option ref =
+    ref None
+  in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      let fields = clean_fields line in
+      match fields with
+      | [] -> ()
+      | card :: rest -> begin
+          let lower = String.lowercase_ascii card in
+          match !pending with
+          | Some (sub_name, ports, body) ->
+              if lower = ".ends" then begin
+                Hashtbl.replace subckts sub_name
+                  { ports; body = List.rev !body };
+                pending := None
+              end
+              else if lower = ".subckt" then
+                fail line_no "nested .subckt definitions are not supported"
+              else body := (line_no, fields) :: !body
+          | None ->
+              if lower = ".subckt" then begin
+                match rest with
+                | sub_name :: ports when ports <> [] ->
+                    pending := Some (sub_name, ports, ref [])
+                | _ -> fail line_no "malformed .subckt header"
+              end
+              else if lower = ".ends" then fail line_no ".ends without .subckt"
+              else top := (line_no, fields) :: !top
+        end)
+    (String.split_on_char '\n' text);
+  (match !pending with
+  | Some (sub_name, _, _) -> fail 0 ("unterminated .subckt " ^ sub_name)
+  | None -> ());
+  List.iter
+    (fun (line_no, fields) ->
+      try handle_fields ~rename:Fun.id ~prefix:"" line_no fields with
+      | Parse_error _ as e -> raise e
+      | Failure message -> fail line_no message)
+    (List.rev !top);
+  (circuit, List.rev !analyses)
+
+let parse text = fst (parse_with_analyses text)
+
+let format_value v =
+  (* compact engineering rendering for printing *)
+  let abs = Float.abs v in
+  if v = 0. then "0"
+  else begin
+    let scaled, suffix =
+      if abs >= 1e12 then (v /. 1e12, "t")
+      else if abs >= 1e6 then (v /. 1e6, "meg")
+      else if abs >= 1e3 then (v /. 1e3, "k")
+      else if abs >= 1. then (v, "")
+      else if abs >= 1e-3 then (v /. 1e-3, "m")
+      else if abs >= 1e-6 then (v /. 1e-6, "u")
+      else if abs >= 1e-9 then (v /. 1e-9, "n")
+      else if abs >= 1e-12 then (v /. 1e-12, "p")
+      else (v /. 1e-15, "f")
+    in
+    Printf.sprintf "%.6g%s" scaled suffix
+  end
+
+(* The parser derives the element type from the card's first letter, so a
+   device whose name does not start with its type letter (e.g. the flattened
+   "x1.M1") must be printed with an explicit type prefix. *)
+let card_name type_char name =
+  if name <> "" && Char.lowercase_ascii name.[0] = type_char then name
+  else Printf.sprintf "%c_%s" (Char.uppercase_ascii type_char) name
+
+let to_string circuit =
+  let buf = Buffer.create 1024 in
+  let models = ref [] in
+  let model_name m =
+    match List.assq_opt m !models with
+    | Some name -> name
+    | None -> begin
+        (* structural match: reuse a card for identical parameter sets *)
+        match List.find_opt (fun (m', _) -> m' = m) !models with
+        | Some (_, name) -> name
+        | None ->
+            let name = Printf.sprintf "mod%d" (List.length !models + 1) in
+            models := (m, name) :: !models;
+            name
+      end
+  in
+  let node = Circuit.node_name circuit in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let body = Buffer.create 1024 in
+  let body_line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string body (s ^ "\n")) fmt
+  in
+  Array.iter
+    (fun dev ->
+      match dev with
+      | Device.Resistor { name; n1; n2; ohms } ->
+          body_line "%s %s %s %s" (card_name 'r' name) (node n1) (node n2)
+            (format_value ohms)
+      | Device.Capacitor { name; n1; n2; farads } ->
+          body_line "%s %s %s %s" (card_name 'c' name) (node n1) (node n2)
+            (format_value farads)
+      | Device.Vsource { name; npos; nneg; dc; ac; wave = _ } ->
+          let name = card_name 'v' name in
+          if ac = 0. then
+            body_line "%s %s %s %s" name (node npos) (node nneg) (format_value dc)
+          else
+            body_line "%s %s %s %s ac=%s" name (node npos) (node nneg)
+              (format_value dc) (format_value ac)
+      | Device.Isource { name; npos; nneg; dc; ac; wave = _ } ->
+          let name = card_name 'i' name in
+          if ac = 0. then
+            body_line "%s %s %s %s" name (node npos) (node nneg) (format_value dc)
+          else
+            body_line "%s %s %s %s ac=%s" name (node npos) (node nneg)
+              (format_value dc) (format_value ac)
+      | Device.Vccs { name; out_p; out_n; in_p; in_n; gm } ->
+          body_line "%s %s %s %s %s %s" (card_name 'g' name) (node out_p)
+            (node out_n) (node in_p) (node in_n) (format_value gm)
+      | Device.Mosfet { name; d; g; s; b; model; w; l } ->
+          body_line "%s %s %s %s %s %s w=%s l=%s" (card_name 'm' name) (node d)
+            (node g) (node s) (node b) (model_name model) (format_value w)
+            (format_value l))
+    (Circuit.devices circuit);
+  line "* netlist generated by yieldlab";
+  List.iter
+    (fun (m, name) ->
+      let kind =
+        match m.Mosfet.polarity with Mosfet.Nmos -> "nmos" | Mosfet.Pmos -> "pmos"
+      in
+      line
+        ".model %s %s vth0=%g kp=%g gamma=%g phi=%g lambda0=%g n=%g cox=%g \
+         cgso=%g cgdo=%g cj=%g cjsw=%g ext=%g"
+        name kind m.Mosfet.vth0 m.Mosfet.kp m.Mosfet.gamma m.Mosfet.phi
+        m.Mosfet.lambda0 m.Mosfet.n_slope m.Mosfet.cox m.Mosfet.cgso
+        m.Mosfet.cgdo m.Mosfet.cj m.Mosfet.cjsw m.Mosfet.ext)
+    (List.rev !models);
+  Buffer.add_buffer buf body;
+  List.iter
+    (fun (n, v) ->
+      line ".nodeset v(%s)=%s" (node n) (format_value v))
+    (List.rev (Circuit.nodesets circuit));
+  line ".end";
+  Buffer.contents buf

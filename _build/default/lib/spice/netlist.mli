@@ -1,0 +1,67 @@
+(** SPICE-like netlist text format.
+
+    The proposed algorithm's first step is "netlist and objective function
+    generation"; this module gives circuits a concrete textual form, with a
+    parser for tests and user-supplied topologies.
+
+    Supported cards (case-insensitive element letters, [*] comments,
+    engineering suffixes f p n u m k meg g t):
+
+    {v
+    .model <name> nmos|pmos vth0=.. kp=.. gamma=.. phi=.. lambda0=.. n=..
+                  cox=.. cgso=.. cgdo=.. cj=.. cjsw=.. ext=..
+    R<id> n1 n2 <ohms>
+    C<id> n1 n2 <farads>
+    V<id> n+ n- <dc> [ac=<mag>]
+    I<id> n+ n- <dc> [ac=<mag>]
+    G<id> out+ out- in+ in- <gm>
+    M<id> d g s b <model> w=<m> l=<m>
+    .subckt <name> <port>...
+      <cards>
+    .ends
+    X<id> <node>... <subckt-name>
+    .nodeset v(<node>)=<volts>
+    .op
+    .ac dec <points-per-decade> <f_lo> <f_hi> <out-node>
+    .tran <dt> <t_stop> <out-node>
+    .dc <source> <start> <stop> <step> <out-node>
+    .end
+    v}
+
+    Subcircuits are expanded (flattened) at parse time: internal nodes and
+    device names of instance [X1] of subckt [amp] appear as [X1.<name>].
+    Nested subcircuit definitions are not supported; instantiating a subckt
+    from inside another is. *)
+
+exception Parse_error of { line : int; message : string }
+
+type analysis =
+  | Op  (** [.op] — DC operating point *)
+  | Ac_analysis of { per_decade : int; f_lo : float; f_hi : float; out : string }
+      (** [.ac dec <pts> <f_lo> <f_hi> <node>] *)
+  | Tran_analysis of { dt : float; t_stop : float; out : string }
+      (** [.tran <dt> <t_stop> <node>] *)
+  | Dc_analysis of {
+      source : string;
+      start : float;
+      stop : float;
+      step : float;
+      out : string;
+    }  (** [.dc <source> <start> <stop> <step> <node>] *)
+
+val parse_value : string -> float
+(** Engineering-notation scalar ("10k", "3.3", "120p", "2meg").
+    @raise Failure on malformed input. *)
+
+val parse : string -> Circuit.t
+(** @raise Parse_error with a line number on malformed input.  Analysis
+    cards are accepted and ignored; use {!parse_with_analyses} to get
+    them. *)
+
+val parse_with_analyses : string -> Circuit.t * analysis list
+(** Like {!parse} but also returns the analysis cards, in order.  Analysis
+    cards are only allowed at the top level (not inside [.subckt]). *)
+
+val to_string : Circuit.t -> string
+(** Render a circuit back to netlist text.  MOS models are deduplicated and
+    emitted as [.model] cards named [mod1], [mod2], ... *)

@@ -1,0 +1,1 @@
+lib/stats/lhs.ml: Array Dist Float Fun Rng

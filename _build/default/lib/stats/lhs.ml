@@ -1,0 +1,20 @@
+let sample rng ~n ~dims =
+  if n <= 0 || dims <= 0 then invalid_arg "Lhs.sample: non-positive size";
+  let columns =
+    Array.init dims (fun _ ->
+        let strata = Array.init n Fun.id in
+        Rng.shuffle_in_place rng strata;
+        Array.map
+          (fun k -> (float_of_int k +. Rng.float rng) /. float_of_int n)
+          strata)
+  in
+  Array.init n (fun i -> Array.init dims (fun j -> columns.(j).(i)))
+
+let sample_normal rng ~n ~dims =
+  let u = sample rng ~n ~dims in
+  Array.map
+    (Array.map (fun p ->
+         (* keep strictly inside (0,1) for the quantile transform *)
+         let p = Float.max 1e-12 (Float.min (1. -. 1e-12) p) in
+         Dist.normal_quantile ~mean:0. ~sigma:1. p))
+    u

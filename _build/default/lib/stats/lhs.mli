@@ -1,0 +1,12 @@
+(** Latin hypercube sampling: stratified multi-dimensional sampling that
+    reduces Monte Carlo variance for smooth responses.  Each dimension's
+    [0, 1) range is split into [n] equal strata; every stratum is hit exactly
+    once, with independent random permutations per dimension. *)
+
+val sample : Rng.t -> n:int -> dims:int -> float array array
+(** [sample rng ~n ~dims] is an [n x dims] matrix of stratified uniforms.
+    @raise Invalid_argument for non-positive [n] or [dims]. *)
+
+val sample_normal : Rng.t -> n:int -> dims:int -> float array array
+(** Stratified standard-normal deviates (inverse-CDF transform of
+    {!sample}). *)

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic stage of the flow (GA, Monte Carlo, mismatch sampling)
+    takes an explicit [Rng.t] so that runs are reproducible and independent
+    streams can be split off for parallel-in-spirit subtasks without
+    correlations.  The generator is xoshiro256++ seeded through splitmix64. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed; equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator and advances
+    [t].  Used to give each Monte Carlo sample / GA island its own stream. *)
+
+val copy : t -> t
+
+val uint64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53-bit resolution. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t a b] is uniform in [a, b). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n).  @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller, one value per call, cached pair). *)
+
+val normal : t -> mean:float -> sigma:float -> float
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element.  @raise Invalid_argument on empty array. *)

@@ -1,0 +1,1 @@
+lib/table/control.ml: List Printf String

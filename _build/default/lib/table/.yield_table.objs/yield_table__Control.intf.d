@@ -1,0 +1,1 @@
+lib/table/control.mli:

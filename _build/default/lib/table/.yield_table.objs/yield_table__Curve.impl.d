@@ -1,0 +1,1 @@
+lib/table/curve.ml: Array Control Float Fun List Table1d

@@ -1,0 +1,1 @@
+lib/table/grid.ml: Array Control Table1d

@@ -1,0 +1,1 @@
+lib/table/spline.ml: Array Float

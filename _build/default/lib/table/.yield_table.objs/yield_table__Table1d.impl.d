@@ -1,0 +1,1 @@
+lib/table/table1d.ml: Array Control Float List Spline

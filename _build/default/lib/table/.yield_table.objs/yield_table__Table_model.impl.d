@@ -1,0 +1,1 @@
+lib/table/table_model.ml: Array Control Curve Float Fun Grid List Table1d Tbl_io

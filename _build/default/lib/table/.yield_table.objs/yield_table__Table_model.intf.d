@@ -1,0 +1,1 @@
+lib/table/table_model.mli: Tbl_io

@@ -1,0 +1,1 @@
+lib/table/tbl_io.ml: Array Buffer Float Fun List Printf String

@@ -1,0 +1,1 @@
+lib/table/tbl_io.mli:

@@ -1,0 +1,50 @@
+type degree = Linear | Quadratic | Cubic | Monotone
+
+type extrapolation = Clamp | Extend | Error
+
+type axis = Interpolate of { degree : degree; extrapolation : extrapolation } | Ignore
+
+let default_axis = Interpolate { degree = Linear; extrapolation = Clamp }
+
+let parse_axis token =
+  let token = String.trim token in
+  if String.lowercase_ascii token = "i" then Ignore
+  else begin
+    let degree = ref Linear and extrapolation = ref Clamp in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '1' -> degree := Linear
+        | '2' -> degree := Quadratic
+        | '3' -> degree := Cubic
+        | 'm' | 'M' -> degree := Monotone
+        | 'c' | 'C' -> extrapolation := Clamp
+        | 'l' | 'L' -> extrapolation := Extend
+        | 'e' | 'E' -> extrapolation := Error
+        | ' ' -> ()
+        | other ->
+            invalid_arg
+              (Printf.sprintf "Control.parse: unexpected character %C in %S"
+                 other token))
+      token;
+    Interpolate { degree = !degree; extrapolation = !extrapolation }
+  end
+
+let parse s =
+  if String.trim s = "" then []
+  else List.map parse_axis (String.split_on_char ',' s)
+
+let axis_to_string = function
+  | Ignore -> "I"
+  | Interpolate { degree; extrapolation } ->
+      let d =
+        match degree with
+        | Linear -> "1"
+        | Quadratic -> "2"
+        | Cubic -> "3"
+        | Monotone -> "M"
+      in
+      let e = match extrapolation with Clamp -> "C" | Extend -> "L" | Error -> "E" in
+      d ^ e
+
+let to_string axes = String.concat "," (List.map axis_to_string axes)

@@ -1,0 +1,56 @@
+type t = {
+  axes : float array array;
+  values : float array;
+  controls : Control.axis array;
+  strides : int array;
+}
+
+let create ?controls ~axes ~values () =
+  let k = Array.length axes in
+  if k = 0 then invalid_arg "Grid.create: no axes";
+  let controls =
+    match controls with
+    | None -> Array.make k Control.default_axis
+    | Some c ->
+        if Array.length c <> k then
+          invalid_arg "Grid.create: control count mismatch";
+        c
+  in
+  Array.iter
+    (fun axis ->
+      if Array.length axis < 2 then invalid_arg "Grid.create: axis too short";
+      for i = 0 to Array.length axis - 2 do
+        if axis.(i) >= axis.(i + 1) then
+          invalid_arg "Grid.create: axis not strictly increasing"
+      done)
+    axes;
+  let total = Array.fold_left (fun acc a -> acc * Array.length a) 1 axes in
+  if total <> Array.length values then
+    invalid_arg "Grid.create: values length mismatch";
+  let strides = Array.make k 1 in
+  for i = k - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * Array.length axes.(i + 1)
+  done;
+  { axes; values; controls; strides }
+
+(* Recursive separable interpolation: reduce along axis [dim] by
+   interpolating the recursively evaluated sub-grids. *)
+let eval t query =
+  let k = Array.length t.axes in
+  if Array.length query <> k then invalid_arg "Grid.eval: arity mismatch";
+  let rec reduce dim offset =
+    let axis = t.axes.(dim) in
+    let n = Array.length axis in
+    let ys =
+      Array.init n (fun i ->
+          let offset = offset + (i * t.strides.(dim)) in
+          if dim = k - 1 then t.values.(offset) else reduce (dim + 1) offset)
+    in
+    let table = Table1d.create ~control:t.controls.(dim) axis ys in
+    Table1d.eval table query.(dim)
+  in
+  reduce 0 0
+
+let dims t = Array.map Array.length t.axes
+
+let axes t = Array.map Array.copy t.axes

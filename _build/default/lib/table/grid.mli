@@ -1,0 +1,19 @@
+(** N-dimensional tensor-grid table: per-axis spline interpolation applied
+    recursively (the gridded case of Verilog-A [$table_model]). *)
+
+type t
+
+val create :
+  ?controls:Control.axis array ->
+  axes:float array array -> values:float array -> unit -> t
+(** [create ~axes ~values ()] with [axes.(i)] strictly increasing and
+    [values] flattened row-major, axis 0 slowest.  Default control per axis
+    is ["1C"].  @raise Invalid_argument on dimension mismatches. *)
+
+val eval : t -> float array -> float
+(** @raise Table1d.Out_of_range per axis policy.
+    @raise Invalid_argument on arity mismatch. *)
+
+val dims : t -> int array
+
+val axes : t -> float array array

@@ -1,0 +1,173 @@
+(* Each interval i in [0, n-2] carries coefficients of
+   s_i(x) = a (x - x_i)^3 + b (x - x_i)^2 + c (x - x_i) + d            (eq. 3)
+   stored as four parallel arrays. *)
+
+type t = {
+  xs : float array;
+  a : float array;
+  b : float array;
+  c : float array;
+  d : float array;
+}
+
+let validate xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Spline: length mismatch";
+  if n < 2 then invalid_arg "Spline: need at least two knots";
+  for i = 0 to n - 2 do
+    if xs.(i) >= xs.(i + 1) then
+      invalid_arg "Spline: knots must be strictly increasing"
+  done
+
+let linear xs ys =
+  validate xs ys;
+  let m = Array.length xs - 1 in
+  let a = Array.make m 0. and b = Array.make m 0. in
+  let c =
+    Array.init m (fun i -> (ys.(i + 1) -. ys.(i)) /. (xs.(i + 1) -. xs.(i)))
+  in
+  let d = Array.init m (fun i -> ys.(i)) in
+  { xs = Array.copy xs; a; b; c; d }
+
+(* continuity of value and slope; the first segment starts with the secant
+   slope, making it exactly linear *)
+let quadratic xs ys =
+  validate xs ys;
+  let m = Array.length xs - 1 in
+  let z = Array.make (m + 1) 0. in
+  z.(0) <- (ys.(1) -. ys.(0)) /. (xs.(1) -. xs.(0));
+  for i = 0 to m - 1 do
+    let h = xs.(i + 1) -. xs.(i) in
+    z.(i + 1) <- (2. *. (ys.(i + 1) -. ys.(i)) /. h) -. z.(i)
+  done;
+  let a = Array.make m 0. in
+  let b =
+    Array.init m (fun i ->
+        let h = xs.(i + 1) -. xs.(i) in
+        (z.(i + 1) -. z.(i)) /. (2. *. h))
+  in
+  let c = Array.init m (fun i -> z.(i)) in
+  let d = Array.init m (fun i -> ys.(i)) in
+  { xs = Array.copy xs; a; b; c; d }
+
+(* natural cubic spline via the standard tridiagonal system in the second
+   derivatives *)
+let cubic xs ys =
+  validate xs ys;
+  let n = Array.length xs in
+  if n = 2 then linear xs ys
+  else begin
+    let m = n - 1 in
+    let h = Array.init m (fun i -> xs.(i + 1) -. xs.(i)) in
+    (* tridiagonal solve for second derivatives sigma.(0..n-1), natural ends *)
+    let sigma = Array.make n 0. in
+    let cp = Array.make n 0. and dp = Array.make n 0. in
+    (* interior equations: h_{i-1} s_{i-1} + 2(h_{i-1}+h_i) s_i + h_i s_{i+1}
+       = 6((y_{i+1}-y_i)/h_i - (y_i-y_{i-1})/h_{i-1}) *)
+    for i = 1 to n - 2 do
+      let diag = 2. *. (h.(i - 1) +. h.(i)) in
+      let rhs =
+        6.
+        *. (((ys.(i + 1) -. ys.(i)) /. h.(i))
+           -. ((ys.(i) -. ys.(i - 1)) /. h.(i - 1)))
+      in
+      let lower = if i = 1 then 0. else h.(i - 1) in
+      let denom = diag -. (lower *. cp.(i - 1)) in
+      cp.(i) <- h.(i) /. denom;
+      dp.(i) <- (rhs -. (lower *. dp.(i - 1))) /. denom
+    done;
+    for i = n - 2 downto 1 do
+      sigma.(i) <- dp.(i) -. (cp.(i) *. sigma.(i + 1))
+    done;
+    let a =
+      Array.init m (fun i -> (sigma.(i + 1) -. sigma.(i)) /. (6. *. h.(i)))
+    in
+    let b = Array.init m (fun i -> sigma.(i) /. 2.) in
+    let c =
+      Array.init m (fun i ->
+          ((ys.(i + 1) -. ys.(i)) /. h.(i))
+          -. (h.(i) *. ((2. *. sigma.(i)) +. sigma.(i + 1)) /. 6.))
+    in
+    let d = Array.init m (fun i -> ys.(i)) in
+    { xs = Array.copy xs; a; b; c; d }
+  end
+
+(* Fritsch-Carlson: secant slopes limited so each interval's Hermite cubic
+   stays within the data. *)
+let monotone_cubic xs ys =
+  validate xs ys;
+  let n = Array.length xs in
+  let m = n - 1 in
+  let h = Array.init m (fun i -> xs.(i + 1) -. xs.(i)) in
+  let delta = Array.init m (fun i -> (ys.(i + 1) -. ys.(i)) /. h.(i)) in
+  (* endpoint + interior tangents *)
+  let tangents = Array.make n 0. in
+  tangents.(0) <- delta.(0);
+  tangents.(n - 1) <- delta.(m - 1);
+  for i = 1 to n - 2 do
+    if delta.(i - 1) *. delta.(i) <= 0. then tangents.(i) <- 0.
+    else begin
+      (* weighted harmonic mean keeps the interpolant monotone *)
+      let w1 = (2. *. h.(i)) +. h.(i - 1) in
+      let w2 = h.(i) +. (2. *. h.(i - 1)) in
+      tangents.(i) <- (w1 +. w2) /. ((w1 /. delta.(i - 1)) +. (w2 /. delta.(i)))
+    end
+  done;
+  (* clamp endpoint tangents per Fritsch-Carlson *)
+  let clamp_end i di =
+    if di = 0. then tangents.(i) <- 0.
+    else begin
+      if tangents.(i) *. di < 0. then tangents.(i) <- 0.
+      else if Float.abs tangents.(i) > 3. *. Float.abs di then
+        tangents.(i) <- 3. *. di
+    end
+  in
+  clamp_end 0 delta.(0);
+  clamp_end (n - 1) delta.(m - 1);
+  (* Hermite cubic per interval in the (x - x_i) basis *)
+  let a = Array.make m 0.
+  and b = Array.make m 0.
+  and c = Array.make m 0.
+  and d = Array.make m 0. in
+  for i = 0 to m - 1 do
+    let t0 = tangents.(i) and t1 = tangents.(i + 1) in
+    d.(i) <- ys.(i);
+    c.(i) <- t0;
+    b.(i) <- ((3. *. delta.(i)) -. (2. *. t0) -. t1) /. h.(i);
+    a.(i) <- (t0 +. t1 -. (2. *. delta.(i))) /. (h.(i) *. h.(i))
+  done;
+  { xs = Array.copy xs; a; b; c; d }
+
+let interval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then 0
+  else if x >= t.xs.(n - 1) then n - 2
+  else begin
+    (* binary search for the interval containing x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval t x =
+  let i = interval t x in
+  let u = x -. t.xs.(i) in
+  (((((t.a.(i) *. u) +. t.b.(i)) *. u) +. t.c.(i)) *. u) +. t.d.(i)
+
+let derivative t x =
+  let i = interval t x in
+  let u = x -. t.xs.(i) in
+  (3. *. t.a.(i) *. u *. u) +. (2. *. t.b.(i) *. u) +. t.c.(i)
+
+let x_min t = t.xs.(0)
+
+let x_max t = t.xs.(Array.length t.xs - 1)
+
+let knots t = Array.copy t.xs
+
+let end_slopes t =
+  let n = Array.length t.xs in
+  (derivative t t.xs.(0), derivative t t.xs.(n - 1))

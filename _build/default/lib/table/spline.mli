@@ -1,0 +1,40 @@
+(** Piecewise-polynomial interpolation of degree 1, 2 or 3 over a strictly
+    increasing knot sequence.
+
+    Cubic splines are natural (zero second derivative at the ends); quadratic
+    splines start with the secant slope of the first interval; both reproduce
+    the knot values exactly.  This is the interpolation engine behind the
+    Verilog-A [$table_model] substitute (paper eq. 3). *)
+
+type t
+
+val linear : float array -> float array -> t
+(** [linear xs ys].  @raise Invalid_argument unless [xs] is strictly
+    increasing, lengths match, and there are at least 2 knots. *)
+
+val quadratic : float array -> float array -> t
+
+val cubic : float array -> float array -> t
+
+val monotone_cubic : float array -> float array -> t
+(** Fritsch–Carlson monotone cubic (PCHIP): C^1, reproduces the knots, and
+    never overshoots — on monotone data the interpolant is monotone.  An
+    extension beyond Verilog-A's three degrees, provided because Pareto and
+    variation tables are noisy and natural cubics ring through them. *)
+
+val eval : t -> float -> float
+(** Polynomial evaluation; outside the knot range the end segment's
+    polynomial is extended (callers wanting clamp/linear/error semantics use
+    {!Table1d}). *)
+
+val derivative : t -> float -> float
+
+val x_min : t -> float
+
+val x_max : t -> float
+
+val knots : t -> float array
+
+val end_slopes : t -> float * float
+(** First-derivative values at the first and last knot; used for linear
+    extrapolation. *)

@@ -1,0 +1,61 @@
+exception Out_of_range of { value : float; lo : float; hi : float }
+
+type t = { spline : Spline.t; control : Control.axis }
+
+let create ?(control = Control.default_axis) xs ys =
+  let spline =
+    match control with
+    | Control.Ignore -> invalid_arg "Table1d.create: Ignore control"
+    | Control.Interpolate { degree; _ } -> begin
+        match degree with
+        | Control.Linear -> Spline.linear xs ys
+        | Control.Quadratic -> Spline.quadratic xs ys
+        | Control.Cubic -> Spline.cubic xs ys
+        | Control.Monotone -> Spline.monotone_cubic xs ys
+      end
+  in
+  { spline; control }
+
+let of_unsorted ?control pairs =
+  let sorted = Array.copy pairs in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) sorted;
+  (* average duplicate abscissae so the knot sequence is strictly
+     increasing *)
+  let groups = ref [] in
+  Array.iter
+    (fun (x, y) ->
+      match !groups with
+      | (x0, sum, count) :: rest when x0 = x ->
+          groups := (x0, sum +. y, count + 1) :: rest
+      | _ -> groups := (x, y, 1) :: !groups)
+    sorted;
+  let cleaned =
+    List.rev_map (fun (x, sum, count) -> (x, sum /. float_of_int count)) !groups
+  in
+  let xs = Array.of_list (List.map fst cleaned) in
+  let ys = Array.of_list (List.map snd cleaned) in
+  create ?control xs ys
+
+let extrapolation t =
+  match t.control with
+  | Control.Ignore -> Control.Clamp
+  | Control.Interpolate { extrapolation; _ } -> extrapolation
+
+let eval t x =
+  let lo = Spline.x_min t.spline and hi = Spline.x_max t.spline in
+  if x >= lo && x <= hi then Spline.eval t.spline x
+  else begin
+    match extrapolation t with
+    | Control.Error -> raise (Out_of_range { value = x; lo; hi })
+    | Control.Clamp -> Spline.eval t.spline (Float.max lo (Float.min hi x))
+    | Control.Extend ->
+        let slo, shi = Spline.end_slopes t.spline in
+        if x < lo then Spline.eval t.spline lo +. (slo *. (x -. lo))
+        else Spline.eval t.spline hi +. (shi *. (x -. hi))
+  end
+
+let eval_opt t x = match eval t x with v -> Some v | exception Out_of_range _ -> None
+
+let domain t = (Spline.x_min t.spline, Spline.x_max t.spline)
+
+let control t = t.control

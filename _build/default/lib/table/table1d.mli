@@ -1,0 +1,25 @@
+(** One-dimensional table model: spline interpolation plus a Verilog-A
+    extrapolation policy. *)
+
+exception Out_of_range of { value : float; lo : float; hi : float }
+(** Raised by queries outside the sampled range under the [Error] policy
+    (the paper's ["3E"] tables). *)
+
+type t
+
+val create : ?control:Control.axis -> float array -> float array -> t
+(** [create xs ys] with [xs] strictly increasing.  Default control is
+    ["1C"].  @raise Invalid_argument on bad knots or an [Ignore] control. *)
+
+val of_unsorted : ?control:Control.axis -> (float * float) array -> t
+(** Sorts by abscissa and averages duplicate abscissae first. *)
+
+val eval : t -> float -> float
+(** @raise Out_of_range per the control policy. *)
+
+val eval_opt : t -> float -> float option
+(** [None] instead of raising. *)
+
+val domain : t -> float * float
+
+val control : t -> Control.axis

@@ -1,0 +1,113 @@
+type source = D1 of Table1d.t | Dn of Grid.t | Curve of Curve.t
+
+type t = { source : source; arity : int }
+
+type source_kind = One_dimensional | Gridded | Scattered_curve
+
+let axis_controls control k =
+  let parsed = Control.parse control in
+  let axes = Array.make k Control.default_axis in
+  List.iteri (fun i a -> if i < k then axes.(i) <- a) parsed;
+  axes
+
+(* Detect whether the sample points fill a complete tensor grid; if so,
+   return the axes and the row-major value array. *)
+let detect_grid inputs output =
+  let n = Array.length inputs in
+  let k = Array.length inputs.(0) in
+  let axes =
+    Array.init k (fun j ->
+        let vals = Array.map (fun row -> row.(j)) inputs in
+        let sorted = List.sort_uniq Float.compare (Array.to_list vals) in
+        Array.of_list sorted)
+  in
+  let total = Array.fold_left (fun acc a -> acc * Array.length a) 1 axes in
+  if total <> n then None
+  else begin
+    let strides = Array.make k 1 in
+    for i = k - 2 downto 0 do
+      strides.(i) <- strides.(i + 1) * Array.length axes.(i + 1)
+    done;
+    let index_of j v =
+      let axis = axes.(j) in
+      let rec find i = if axis.(i) = v then i else find (i + 1) in
+      find 0
+    in
+    let values = Array.make total nan in
+    let ok = ref true in
+    Array.iteri
+      (fun r row ->
+        let offset = ref 0 in
+        Array.iteri (fun j v -> offset := !offset + (index_of j v * strides.(j))) row;
+        if Float.is_nan values.(!offset) then values.(!offset) <- output.(r)
+        else ok := false (* duplicate point *))
+      inputs;
+    if !ok && Array.for_all (fun v -> not (Float.is_nan v)) values then
+      Some (axes, values)
+    else None
+  end
+
+let create ?(control = "1C") ~inputs ~output () =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Table_model.create: no samples";
+  if Array.length output <> n then
+    invalid_arg "Table_model.create: output length mismatch";
+  let k = Array.length inputs.(0) in
+  if k = 0 then invalid_arg "Table_model.create: zero-dimensional inputs";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then invalid_arg "Table_model.create: ragged inputs")
+    inputs;
+  let controls = axis_controls control k in
+  if k = 1 then begin
+    let pairs = Array.mapi (fun i row -> (row.(0), output.(i))) inputs in
+    { source = D1 (Table1d.of_unsorted ~control:controls.(0) pairs); arity = 1 }
+  end
+  else begin
+    match detect_grid inputs output with
+    | Some (axes, values) ->
+        { source = Dn (Grid.create ~controls ~axes ~values ()); arity = k }
+    | None ->
+        (* scattered: assume a 1-D manifold, ordered along the first input *)
+        let order = Array.init n Fun.id in
+        Array.sort
+          (fun a b -> Float.compare inputs.(a).(0) inputs.(b).(0))
+          order;
+        let sorted_inputs = Array.map (fun i -> inputs.(i)) order in
+        let sorted_output = Array.map (fun i -> output.(i)) order in
+        let curve =
+          Curve.create ~control:controls.(0) ~inputs:sorted_inputs
+            ~columns:[ ("y", sorted_output) ]
+            ()
+        in
+        { source = Curve curve; arity = k }
+  end
+
+let of_table ?control table ~inputs ~output =
+  let input_cols = List.map (fun name -> Tbl_io.column table name) inputs in
+  let out = Tbl_io.column table output in
+  let n = Array.length out in
+  let input_rows =
+    Array.init n (fun i ->
+        Array.of_list (List.map (fun col -> col.(i)) input_cols))
+  in
+  create ?control ~inputs:input_rows ~output:out ()
+
+let kind t =
+  match t.source with
+  | D1 _ -> One_dimensional
+  | Dn _ -> Gridded
+  | Curve _ -> Scattered_curve
+
+let arity t = t.arity
+
+let eval t q =
+  if Array.length q <> t.arity then invalid_arg "Table_model.eval: arity mismatch";
+  match t.source with
+  | D1 table -> Table1d.eval table q.(0)
+  | Dn grid -> Grid.eval grid q
+  | Curve curve -> Curve.eval curve "y" q
+
+let eval1 t x = eval t [| x |]
+
+let eval2 t x y = eval t [| x; y |]

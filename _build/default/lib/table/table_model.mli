@@ -1,0 +1,38 @@
+(** The Verilog-A [$table_model] facade.
+
+    [create] takes sample points (any number of input dimensions), one output
+    column and a control string, and picks the right representation:
+
+    - one input: a 1-D spline table;
+    - multi-input samples that form a complete tensor grid: a {!Grid};
+    - otherwise: a {!Curve} — scattered samples assumed to lie along a 1-D
+      manifold (the Pareto-front case from the paper).
+
+    Queries follow the control string's interpolation degree and
+    extrapolation policy (first token for curve/1-D sources). *)
+
+type t
+
+type source_kind = One_dimensional | Gridded | Scattered_curve
+
+val create :
+  ?control:string -> inputs:float array array -> output:float array -> unit -> t
+(** [inputs] is [n x k]; [output] has [n] entries.  Default control ["1C"]
+    for every dimension.  @raise Invalid_argument on shape errors. *)
+
+val of_table :
+  ?control:string -> Tbl_io.table -> inputs:string list -> output:string -> t
+(** Build from named columns of a [.tbl] table.
+    @raise Not_found for unknown column names. *)
+
+val kind : t -> source_kind
+
+val arity : t -> int
+
+val eval : t -> float array -> float
+(** @raise Table1d.Out_of_range under an [E] policy.
+    @raise Invalid_argument on arity mismatch. *)
+
+val eval1 : t -> float -> float
+
+val eval2 : t -> float -> float -> float

@@ -1,0 +1,118 @@
+type table = { columns : string array; rows : float array array }
+
+let create ~columns ~rows =
+  let k = Array.length columns in
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then invalid_arg "Tbl_io.create: ragged rows")
+    rows;
+  { columns; rows }
+
+let column_index t name =
+  let rec find i =
+    if i >= Array.length t.columns then raise Not_found
+    else if t.columns.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let column t name =
+  let i = column_index t name in
+  Array.map (fun row -> row.(i)) t.rows
+
+let column_opt t name =
+  match column t name with v -> Some v | exception Not_found -> None
+
+let n_rows t = Array.length t.rows
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# columns:";
+  Array.iter (fun c -> Buffer.add_string buf (" " ^ c)) t.columns;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (Printf.sprintf "%.12g" v))
+        row;
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let columns = ref None in
+  let rows = ref [] in
+  List.iteri
+    (fun lineno line ->
+      let trimmed = String.trim line in
+      if trimmed = "" then ()
+      else if String.length trimmed > 0 && trimmed.[0] = '#' then begin
+        let prefix = "# columns:" in
+        if
+          String.length trimmed >= String.length prefix
+          && String.sub trimmed 0 (String.length prefix) = prefix
+        then begin
+          let names =
+            String.sub trimmed (String.length prefix)
+              (String.length trimmed - String.length prefix)
+            |> String.split_on_char ' '
+            |> List.filter (fun s -> s <> "")
+          in
+          columns := Some (Array.of_list names)
+        end
+      end
+      else begin
+        let fields =
+          String.split_on_char ' ' trimmed
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+        in
+        let parse s =
+          match float_of_string_opt s with
+          | Some v -> v
+          | None ->
+              failwith
+                (Printf.sprintf "Tbl_io.of_string: bad number %S on line %d" s
+                   (lineno + 1))
+        in
+        rows := Array.of_list (List.map parse fields) :: !rows
+      end)
+    lines;
+  let rows = Array.of_list (List.rev !rows) in
+  let width = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> width then failwith "Tbl_io.of_string: ragged rows")
+    rows;
+  let columns =
+    match !columns with
+    | Some c ->
+        if Array.length rows > 0 && Array.length c <> width then
+          failwith "Tbl_io.of_string: header/data width mismatch";
+        c
+    | None -> Array.init width (Printf.sprintf "c%d")
+  in
+  { columns; rows }
+
+let write ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let read ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))
+
+let sort_by t name =
+  let i = column_index t name in
+  let rows = Array.copy t.rows in
+  Array.sort (fun a b -> Float.compare a.(i) b.(i)) rows;
+  { t with rows }

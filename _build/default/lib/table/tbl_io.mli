@@ -1,0 +1,29 @@
+(** The [.tbl] data-file format written for (and read back from) the
+    behavioural models: whitespace-separated numeric columns, [#] comments,
+    and an optional [# columns: a b c] header naming them. *)
+
+type table = { columns : string array; rows : float array array }
+(** [rows] is row-major; every row has [Array.length columns] entries. *)
+
+val create : columns:string array -> rows:float array array -> table
+(** @raise Invalid_argument on ragged rows. *)
+
+val column : table -> string -> float array
+(** @raise Not_found for an unknown column name. *)
+
+val column_opt : table -> string -> float array option
+
+val n_rows : table -> int
+
+val to_string : table -> string
+
+val of_string : string -> table
+(** Columns default to [c0, c1, ...] when no header is present.
+    @raise Failure on malformed numeric data or ragged rows. *)
+
+val write : path:string -> table -> unit
+
+val read : path:string -> table
+
+val sort_by : table -> string -> table
+(** Rows sorted ascending on the named column. *)

@@ -1,0 +1,1 @@
+test/t_behavioural.ml: Alcotest Array Float Yield_behavioural Yield_circuits Yield_spice Yield_stats Yield_table

@@ -1,0 +1,1 @@
+test/t_circuits.ml: Alcotest Array Float List Option String Yield_circuits Yield_ga Yield_process Yield_spice Yield_stats

@@ -1,0 +1,1 @@
+test/t_circuits2.ml: Alcotest Array Complex Float Yield_circuits Yield_numeric Yield_process Yield_spice Yield_stats

@@ -1,0 +1,1 @@
+test/t_core.ml: Alcotest Array Filename Float Fun Lazy List String Sys Yield_behavioural Yield_circuits Yield_core Yield_ga Yield_process

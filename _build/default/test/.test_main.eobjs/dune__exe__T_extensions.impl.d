@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Array Filename Float Fun List Option Stdlib String Sys Yield_behavioural Yield_circuits Yield_process Yield_stats Yield_table

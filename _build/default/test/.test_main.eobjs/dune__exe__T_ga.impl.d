@@ -1,0 +1,1 @@
+test/t_ga.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Yield_ga Yield_stats

@@ -1,0 +1,1 @@
+test/t_numeric.ml: Alcotest Array Complex Float QCheck QCheck_alcotest Random Yield_numeric

@@ -1,0 +1,1 @@
+test/t_process.ml: Alcotest Array Float List Option QCheck QCheck_alcotest Yield_circuits Yield_process Yield_spice Yield_stats

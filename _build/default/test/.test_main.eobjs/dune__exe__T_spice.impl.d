@@ -1,0 +1,1 @@
+test/t_spice.ml: Alcotest Array Complex Float Printf QCheck QCheck_alcotest Random Yield_circuits Yield_spice

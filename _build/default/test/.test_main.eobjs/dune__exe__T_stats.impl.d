@@ -1,0 +1,1 @@
+test/t_stats.ml: Alcotest Array Float Fun Gen List Printf QCheck QCheck_alcotest Yield_stats

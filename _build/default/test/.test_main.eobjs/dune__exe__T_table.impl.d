@@ -1,0 +1,1 @@
+test/t_table.ml: Alcotest Array Filename Float Fun List QCheck QCheck_alcotest Sys Yield_stats Yield_table

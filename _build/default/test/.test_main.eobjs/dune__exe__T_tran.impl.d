@@ -1,0 +1,1 @@
+test/t_tran.ml: Alcotest Array Float List Yield_numeric Yield_process Yield_spice

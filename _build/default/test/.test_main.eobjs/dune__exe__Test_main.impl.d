@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List T_behavioural T_circuits T_circuits2 T_core T_extensions T_ga T_numeric T_process T_spice T_stats T_table T_tran

@@ -1,0 +1,253 @@
+(* Tests for the yield_behavioural library: performance model, variation
+   model, macromodel, yield targeting. *)
+
+module Perf_model = Yield_behavioural.Perf_model
+module Var_model = Yield_behavioural.Var_model
+module Macromodel = Yield_behavioural.Macromodel
+module Yield_target = Yield_behavioural.Yield_target
+module Filter = Yield_circuits.Filter
+module Circuit = Yield_spice.Circuit
+module Dcop = Yield_spice.Dcop
+module Measure = Yield_spice.Measure
+
+let check_float ?(eps = 1e-9) what expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" what expected actual
+
+(* A synthetic monotone front: gain 40..60 dB while PM falls 90..50 deg,
+   parameters varying smoothly, rout rising with gain. *)
+let synthetic_front n =
+  Array.init n (fun i ->
+      let t = float_of_int i /. float_of_int (n - 1) in
+      {
+        Perf_model.gain_db = 40. +. (20. *. t);
+        pm_deg = 90. -. (40. *. t);
+        params = Array.init 8 (fun j -> 1e-6 *. (1. +. t +. (0.1 *. float_of_int j)));
+        rout = 1e6 *. (1. +. (3. *. t));
+        unity_gain_hz = 1e7 *. (2. -. t);
+      })
+
+let perf20 = Perf_model.create (synthetic_front 20)
+
+let test_perf_model_ranges () =
+  let glo, ghi = Perf_model.gain_range perf20 in
+  check_float "gain lo" 40. glo;
+  check_float "gain hi" 60. ghi;
+  let plo, phi = Perf_model.pm_range perf20 in
+  check_float "pm lo" 50. plo;
+  check_float "pm hi" 90. phi;
+  Alcotest.(check int) "size" 20 (Perf_model.size perf20)
+
+let test_perf_model_lookup_on_front () =
+  (* looking up a front point returns (approximately) its own parameters *)
+  let p = (Perf_model.points perf20).(10) in
+  let found =
+    Perf_model.lookup perf20 ~gain_db:p.Perf_model.gain_db
+      ~pm_deg:p.Perf_model.pm_deg
+  in
+  Array.iteri
+    (fun j v -> check_float ~eps:1e-3 "param" p.Perf_model.params.(j) v)
+    found.Perf_model.params;
+  check_float ~eps:1e-3 "rout" p.Perf_model.rout found.Perf_model.rout
+
+let test_perf_model_lookup_interpolates () =
+  (* halfway between two front points in gain *)
+  let pts = Perf_model.points perf20 in
+  let a = pts.(5) and b = pts.(6) in
+  let mid_gain = 0.5 *. (a.Perf_model.gain_db +. b.Perf_model.gain_db) in
+  let mid_pm = 0.5 *. (a.Perf_model.pm_deg +. b.Perf_model.pm_deg) in
+  let found = Perf_model.lookup perf20 ~gain_db:mid_gain ~pm_deg:mid_pm in
+  Array.iteri
+    (fun j v ->
+      let expected = 0.5 *. (a.Perf_model.params.(j) +. b.Perf_model.params.(j)) in
+      check_float ~eps:0.01 "interpolated param" expected v)
+    found.Perf_model.params
+
+let test_perf_model_pm_at_gain () =
+  check_float ~eps:0.01 "front curve" 70. (Perf_model.pm_at_gain perf20 50.)
+
+let test_perf_model_duplicates_merged () =
+  let pts = Array.append (synthetic_front 5) (synthetic_front 5) in
+  let m = Perf_model.create pts in
+  Alcotest.(check int) "deduplicated" 5 (Perf_model.size m)
+
+let test_perf_model_table_roundtrip () =
+  let table = Perf_model.to_table perf20 in
+  let m2 = Perf_model.of_table table in
+  Alcotest.(check int) "size preserved" (Perf_model.size perf20) (Perf_model.size m2);
+  let a = Perf_model.lookup perf20 ~gain_db:47.3 ~pm_deg:75.4 in
+  let b = Perf_model.lookup m2 ~gain_db:47.3 ~pm_deg:75.4 in
+  Array.iteri
+    (fun j v -> check_float ~eps:1e-9 "same lookup" a.Perf_model.params.(j) v)
+    b.Perf_model.params
+
+let test_perf_model_too_few_points () =
+  match Perf_model.create (synthetic_front 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "single point accepted"
+
+(* --- variation model --- *)
+
+let synthetic_var n =
+  Array.init n (fun i ->
+      let t = float_of_int i /. float_of_int (n - 1) in
+      {
+        Var_model.gain_db = 40. +. (20. *. t);
+        pm_deg = 90. -. (40. *. t);
+        dgain_pct = 0.4 +. (0.2 *. t);
+        dpm_pct = 1.2 +. (0.6 *. t);
+        mc_samples = 200;
+      })
+
+let var20 = Var_model.create (synthetic_var 20)
+
+let test_var_model_lookup () =
+  check_float ~eps:0.02 "dgain mid" 0.5 (Var_model.dgain_at var20 ~gain_db:50.);
+  (* pm = 70 corresponds to t = 0.5 -> dpm = 1.5 *)
+  check_float ~eps:0.02 "dpm mid" 1.5 (Var_model.dpm_at var20 ~pm_deg:70.)
+
+let test_var_model_no_extrapolation () =
+  match Var_model.dgain_at var20 ~gain_db:10. with
+  | exception Yield_table.Table1d.Out_of_range _ -> ()
+  | _ -> Alcotest.fail "extrapolated beyond table"
+
+let test_var_model_noise_robust () =
+  (* many nearly coincident noisy points: interpolation must stay bounded *)
+  let rng = Yield_stats.Rng.create 5 in
+  let pts =
+    Array.init 300 (fun i ->
+        let t = float_of_int (i mod 3) *. 1e-4 in
+        {
+          Var_model.gain_db = 50. +. t +. (0.001 *. float_of_int i);
+          pm_deg = 70. -. t -. (0.001 *. float_of_int i);
+          dgain_pct = 0.5 +. (0.2 *. Yield_stats.Rng.gaussian rng);
+          dpm_pct = 1.5 +. (0.5 *. Yield_stats.Rng.gaussian rng);
+          mc_samples = 50;
+        })
+  in
+  let m = Var_model.create pts in
+  let v = Var_model.dgain_at m ~gain_db:50.15 in
+  Alcotest.(check bool) "bounded" true (v >= 0. && v < 2.);
+  let v2 = Var_model.dpm_at m ~pm_deg:69.9 in
+  Alcotest.(check bool) "bounded pm" true (v2 >= 0. && v2 < 5.)
+
+let test_var_model_table_roundtrip () =
+  let t = Var_model.to_table var20 in
+  let m2 = Var_model.of_table t in
+  check_float ~eps:1e-6 "same dgain"
+    (Var_model.dgain_at var20 ~gain_db:47.)
+    (Var_model.dgain_at m2 ~gain_db:47.)
+
+(* --- macromodel --- *)
+
+let model = Macromodel.create perf20 var20
+
+let test_propose_inflates () =
+  match Macromodel.propose model ~gain_db:50. ~pm_deg:70. with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      (* gain_prop = gain (1 + delta/100) with delta ~ 0.5 % *)
+      check_float ~eps:0.01 "gain inflated" (50. *. 1.005)
+        p.Macromodel.proposed_gain_db;
+      Alcotest.(check bool) "pm inflated" true
+        (p.Macromodel.proposed_pm_deg > 70.);
+      (* the proposed design realises at least the inflated gain *)
+      check_float ~eps:0.02 "design at proposal"
+        p.Macromodel.proposed_gain_db p.Macromodel.design.Perf_model.gain_db
+
+let test_propose_out_of_range () =
+  match Macromodel.propose model ~gain_db:100. ~pm_deg:70. with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected out-of-range error"
+
+let test_amp_of_design () =
+  let p = (Perf_model.points perf20).(3) in
+  let amp = Macromodel.amp_of_design p in
+  check_float "gain" p.Perf_model.gain_db amp.Filter.gain_db;
+  check_float "rout" p.Perf_model.rout amp.Filter.rout
+
+let test_macromodel_bode_single_pole () =
+  let bode = Macromodel.bode ~gain_db:60. ~rout:1e6 ~load_cap:1e-12 () in
+  check_float ~eps:1e-3 "dc" 60. (Measure.dc_gain_db bode);
+  (match Measure.f3db bode with
+  | Some f -> check_float ~eps:0.05 "pole" (1. /. (2. *. Float.pi *. 1e6 *. 1e-12)) f
+  | None -> Alcotest.fail "no pole found");
+  match Measure.phase_margin_deg bode with
+  | Some pm -> check_float ~eps:0.02 "90 deg margin" 90. pm
+  | None -> Alcotest.fail "no unity crossing"
+
+let test_add_to_circuit () =
+  let c = Circuit.create () in
+  Circuit.add_vsource c ~name:"VIN" ~ac:1. "in" "0" 0.;
+  (match Macromodel.add_to_circuit model c ~name:"A1" ~gain_db:50. ~pm_deg:70.
+           ~inp:"in" ~out:"out" with
+  | Error e -> Alcotest.fail e
+  | Ok proposal ->
+      (match Dcop.solve c with
+      | Error e -> Alcotest.failf "dcop: %s" (Dcop.error_to_string e)
+      | Ok op ->
+          let bode =
+            Yield_spice.Ac.transfer_by_name c op ~out:"out" ~freqs:[| 1. |]
+          in
+          (* unloaded behavioural stage shows the proposed gain *)
+          check_float ~eps:0.01 "realised gain"
+            proposal.Macromodel.design.Perf_model.gain_db
+            (Measure.dc_gain_db bode)))
+
+(* --- yield targeting --- *)
+
+let test_plan_meets_spec_worst_case () =
+  let spec = { Yield_target.min_gain_db = 50.; min_pm_deg = 70. } in
+  match Yield_target.plan model spec with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      (* the multiplicative inflation leaves a (d/100)^2 second-order term *)
+      let tol_gain = 50. *. 1e-4 in
+      Alcotest.(check bool) "worst-case gain clears spec" true
+        (plan.Yield_target.worst_case_gain_db >= 50. -. tol_gain -. 1e-6);
+      Alcotest.(check bool) "worst-case pm clears spec" true
+        (plan.Yield_target.worst_case_pm_deg >= 70. -. (70. *. 3e-4));
+      Alcotest.(check bool) "predicted yield ~ 1" true
+        (Yield_target.predicted_yield plan > 0.99)
+
+let test_meets () =
+  let spec = { Yield_target.min_gain_db = 50.; min_pm_deg = 70. } in
+  Alcotest.(check bool) "pass" true (Yield_target.meets spec ~gain_db:51. ~pm_deg:71.);
+  Alcotest.(check bool) "fail gain" false (Yield_target.meets spec ~gain_db:49. ~pm_deg:71.);
+  Alcotest.(check bool) "fail pm" false (Yield_target.meets spec ~gain_db:51. ~pm_deg:69.)
+
+let suites =
+  [
+    ( "behavioural.perf_model",
+      [
+        Alcotest.test_case "ranges" `Quick test_perf_model_ranges;
+        Alcotest.test_case "lookup on front" `Quick test_perf_model_lookup_on_front;
+        Alcotest.test_case "lookup interpolates" `Quick
+          test_perf_model_lookup_interpolates;
+        Alcotest.test_case "pm at gain" `Quick test_perf_model_pm_at_gain;
+        Alcotest.test_case "duplicates merged" `Quick
+          test_perf_model_duplicates_merged;
+        Alcotest.test_case "table roundtrip" `Quick test_perf_model_table_roundtrip;
+        Alcotest.test_case "too few points" `Quick test_perf_model_too_few_points;
+      ] );
+    ( "behavioural.var_model",
+      [
+        Alcotest.test_case "lookup" `Quick test_var_model_lookup;
+        Alcotest.test_case "no extrapolation" `Quick test_var_model_no_extrapolation;
+        Alcotest.test_case "noise robust" `Quick test_var_model_noise_robust;
+        Alcotest.test_case "table roundtrip" `Quick test_var_model_table_roundtrip;
+      ] );
+    ( "behavioural.macromodel",
+      [
+        Alcotest.test_case "propose inflates" `Quick test_propose_inflates;
+        Alcotest.test_case "out of range" `Quick test_propose_out_of_range;
+        Alcotest.test_case "amp_of_design" `Quick test_amp_of_design;
+        Alcotest.test_case "single-pole bode" `Quick test_macromodel_bode_single_pole;
+        Alcotest.test_case "add_to_circuit" `Quick test_add_to_circuit;
+      ] );
+    ( "behavioural.yield_target",
+      [
+        Alcotest.test_case "plan worst case" `Quick test_plan_meets_spec_worst_case;
+        Alcotest.test_case "meets" `Quick test_meets;
+      ] );
+  ]

@@ -1,0 +1,181 @@
+(* Tests for the yield_stats library: RNG determinism, distributions,
+   summary statistics. *)
+
+module Rng = Yield_stats.Rng
+module Dist = Yield_stats.Dist
+module Summary = Yield_stats.Summary
+
+let check_float ?(eps = 1e-9) what expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" what expected actual
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.)) "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.float a = Rng.float b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let xs = Array.init 32 (fun _ -> Rng.float parent) in
+  let ys = Array.init 32 (fun _ -> Rng.float child) in
+  Alcotest.(check bool) "split stream differs" true (xs <> ys)
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng 2. 5. in
+    if x < 2. || x >= 5. then Alcotest.fail "uniform out of range"
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    let k = Rng.int rng 7 in
+    if k < 0 || k >= 7 then Alcotest.fail "int out of range";
+    seen.(k) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng) in
+  let s = Summary.of_array xs in
+  check_float ~eps:0.02 "mean" 0. (Summary.mean s);
+  check_float ~eps:0.02 "stddev" 1. (Summary.stddev s)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 13 in
+  let a = Array.init 20 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle_in_place rng b;
+  Array.sort compare b;
+  Alcotest.(check (array int)) "same multiset" a b
+
+let test_erf_known_values () =
+  check_float ~eps:1e-6 "erf 0" 0. (Dist.erf 0.);
+  check_float ~eps:1e-5 "erf 1" 0.8427007929 (Dist.erf 1.);
+  check_float ~eps:1e-5 "erf -1" (-0.8427007929) (Dist.erf (-1.));
+  check_float ~eps:1e-6 "erf 3" 0.9999779095 (Dist.erf 3.)
+
+let test_normal_cdf_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      let x = Dist.normal_quantile ~mean:1. ~sigma:2. p in
+      check_float ~eps:1e-6
+        (Printf.sprintf "roundtrip p=%g" p)
+        p
+        (Dist.normal_cdf ~mean:1. ~sigma:2. x))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_dist_means () =
+  check_float "normal mean" 3. (Dist.mean (Normal { mean = 3.; sigma = 1. }));
+  check_float "uniform mean" 2.5 (Dist.mean (Uniform { lo = 0.; hi = 5. }));
+  check_float ~eps:1e-9 "triangular mean" 2.
+    (Dist.mean (Triangular { lo = 0.; mode = 2.; hi = 4. }))
+
+let prop_sample_within_support =
+  QCheck.Test.make ~count:200 ~name:"uniform/triangular samples stay in support"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let u = Dist.sample (Uniform { lo = -1.; hi = 2. }) rng in
+      let t = Dist.sample (Triangular { lo = 0.; mode = 1.; hi = 3. }) rng in
+      u >= -1. && u < 2. && t >= 0. && t <= 3.)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~count:200 ~name:"normal cdf is monotone"
+    QCheck.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Dist.normal_cdf ~mean:0. ~sigma:1. lo
+      <= Dist.normal_cdf ~mean:0. ~sigma:1. hi +. 1e-12)
+
+let test_sample_mean_matches_dist_mean () =
+  let rng = Rng.create 17 in
+  let d = Dist.Lognormal { mu = 0.1; sigma = 0.2 } in
+  let xs = Array.init 40_000 (fun _ -> Dist.sample d rng) in
+  let s = Summary.of_array xs in
+  check_float ~eps:0.02 "lognormal sample mean" (Dist.mean d) (Summary.mean s)
+
+let test_summary_welford () =
+  let s = Summary.of_array [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Summary.mean s);
+  check_float "variance" (32. /. 7.) (Summary.variance s);
+  check_float "min" 2. (Summary.min_value s);
+  check_float "max" 9. (Summary.max_value s);
+  Alcotest.(check int) "count" 8 (Summary.count s)
+
+let test_summary_empty () =
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Summary.mean Summary.empty))
+
+let test_quantiles () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Summary.median xs);
+  check_float "q0" 1. (Summary.quantile xs 0.);
+  check_float "q1" 5. (Summary.quantile xs 1.);
+  check_float "q25" 2. (Summary.quantile xs 0.25)
+
+let test_histogram () =
+  let h = Summary.histogram ~bins:4 [| 0.; 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "bins" 4 (Array.length h.Summary.counts);
+  Alcotest.(check int) "total" 5 (Array.fold_left ( + ) 0 h.Summary.counts);
+  check_float "lo edge" 0. h.Summary.edges.(0);
+  check_float "hi edge" 4. h.Summary.edges.(4)
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~count:200 ~name:"quantile lies within sample range"
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range (-100.) 100.))
+              (float_range 0.01 0.99))
+    (fun (xs, p) ->
+      match xs with
+      | [] -> true
+      | _ ->
+          let a = Array.of_list xs in
+          let q = Summary.quantile a p in
+          let lo = Array.fold_left Float.min infinity a in
+          let hi = Array.fold_left Float.max neg_infinity a in
+          q >= lo -. 1e-12 && q <= hi +. 1e-12)
+
+let suites =
+  [
+    ( "stats.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+        Alcotest.test_case "int range" `Quick test_rng_int_range;
+        Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+      ] );
+    ( "stats.dist",
+      [
+        Alcotest.test_case "erf known values" `Quick test_erf_known_values;
+        Alcotest.test_case "cdf/quantile roundtrip" `Quick
+          test_normal_cdf_quantile_roundtrip;
+        Alcotest.test_case "distribution means" `Quick test_dist_means;
+        Alcotest.test_case "sample mean" `Slow test_sample_mean_matches_dist_mean;
+        QCheck_alcotest.to_alcotest prop_sample_within_support;
+        QCheck_alcotest.to_alcotest prop_cdf_monotone;
+      ] );
+    ( "stats.summary",
+      [
+        Alcotest.test_case "welford" `Quick test_summary_welford;
+        Alcotest.test_case "empty" `Quick test_summary_empty;
+        Alcotest.test_case "quantiles" `Quick test_quantiles;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+        QCheck_alcotest.to_alcotest prop_quantile_bounds;
+      ] );
+  ]

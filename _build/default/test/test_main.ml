@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "yieldlab"
+    (List.concat
+       [
+         T_numeric.suites;
+         T_stats.suites;
+         T_spice.suites;
+         T_tran.suites;
+         T_extensions.suites;
+         T_process.suites;
+         T_ga.suites;
+         T_table.suites;
+         T_circuits.suites;
+         T_circuits2.suites;
+         T_behavioural.suites;
+         T_core.suites;
+       ])
