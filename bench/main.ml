@@ -26,6 +26,63 @@ module Ga = Yield_ga.Ga
 module Rng = Yield_stats.Rng
 module Mat = Yield_numeric.Mat
 module Lu = Yield_numeric.Lu
+module Json = Yield_obs.Json
+module Metrics = Yield_obs.Metrics
+module Histogram = Yield_obs.Histogram
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable record of the flow run: stage timings, simulation
+   counts and the instrument snapshot, so the perf trajectory is diffable
+   across PRs (the JSON schema is documented in README.md §Telemetry). *)
+
+let write_bench_json ctx ~path =
+  let flow = ctx.Experiments.flow in
+  let t = flow.Flow.timings in
+  let c = flow.Flow.counts in
+  let snap = Metrics.snapshot () in
+  let histogram_json (s : Yield_obs.Histogram.summary) =
+    Json.Obj
+      [
+        ("count", Json.Int s.Histogram.count);
+        ("mean", Json.Float s.Histogram.mean);
+        ("min", Json.Float s.Histogram.min);
+        ("max", Json.Float s.Histogram.max);
+        ("p50", Json.Float s.Histogram.p50);
+        ("p90", Json.Float s.Histogram.p90);
+        ("p99", Json.Float s.Histogram.p99);
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("scale", Json.String (Config.scale_name ctx.Experiments.config));
+        ( "stage_s",
+          Json.Obj
+            [
+              ("optimisation", Json.Float t.Flow.optimisation_s);
+              ("mc", Json.Float t.Flow.mc_s);
+              ("total", Json.Float t.Flow.total_s);
+            ] );
+        ( "sim_counts",
+          Json.Obj
+            [
+              ("optimisation", Json.Int c.Flow.optimisation_sims);
+              ("front", Json.Int c.Flow.front_sims);
+              ("mc", Json.Int c.Flow.mc_sims);
+              ("total", Json.Int (Flow.total_sims c));
+            ] );
+        ( "counters",
+          Json.Obj
+            (List.map (fun (n, v) -> (n, Json.Int v)) snap.Metrics.counters) );
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (n, s) -> (n, histogram_json s))
+               snap.Metrics.histograms) );
+      ]
+  in
+  Yield_obs.Sink.write_file ~path (Json.to_string json ^ "\n");
+  Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per primitive cost of Table 5's
@@ -599,6 +656,7 @@ let () =
     "yieldlab benchmark harness — %s (set YIELDLAB_FAST=1 for a smoke run)\n%!"
     (Config.scale_name config);
   let ctx = Experiments.make_context ~log:(Printf.printf "%s\n%!") config in
+  write_bench_json ctx ~path:"BENCH_flow.json";
   List.iter
     (fun (name, f) ->
       Printf.printf "%!";

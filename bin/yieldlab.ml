@@ -32,7 +32,61 @@ module Circuit = Yield_spice.Circuit
 module Dcop = Yield_spice.Dcop
 module Netlist = Yield_spice.Netlist
 
+module Obs = Yield_obs.Obs
+
 open Cmdliner
+
+(* ---------- telemetry flags (shared by every subcommand) ---------- *)
+
+type obs_opts = {
+  trace : string option;
+  metrics : string option;
+  verbose : bool;
+}
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.json"
+          ~doc:
+            "write a Chrome trace_event file of the run's spans (open in \
+             chrome://tracing or ui.perfetto.dev)")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "write a JSONL log of counters, histogram summaries and span \
+             events")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"print spans live to stderr and a metrics summary at exit")
+  in
+  Term.(
+    const (fun trace metrics verbose -> { trace; metrics; verbose })
+    $ trace $ metrics $ verbose)
+
+(* run a subcommand under the telemetry options, flushing the sinks on the
+   way out (also when the command raises) *)
+let with_obs opts run =
+  Obs.set_verbose opts.verbose;
+  let flush () =
+    (try Obs.flush ?trace:opts.trace ?metrics:opts.metrics ()
+     with Sys_error msg ->
+       Printf.eprintf "yieldlab: cannot write telemetry: %s\n" msg;
+       exit 1);
+    if opts.verbose then prerr_string (Obs.summary ())
+  in
+  Fun.protect ~finally:flush run
+
+let obs_cmd info term = Cmd.v info Term.(const with_obs $ obs_term $ term)
 
 (* ---------- shared arguments ---------- *)
 
@@ -97,9 +151,9 @@ let ota_eval_cmd =
   let netlist_flag =
     Arg.(value & flag & info [ "netlist" ] ~doc:"also print the testbench netlist")
   in
-  Cmd.v
+  obs_cmd
     (Cmd.info "ota-eval" ~doc:"evaluate one OTA sizing at transistor level")
-    Term.(const ota_eval $ param_term $ netlist_flag)
+    Term.(const (fun p n () -> ota_eval p n) $ param_term $ netlist_flag)
 
 (* ---------- miller-eval ---------- *)
 
@@ -140,10 +194,10 @@ let miller_param_term =
     $ dim "w3" 30. $ dim "l3" 1. $ dim "w4" 30. $ dim "l4" 1.)
 
 let miller_eval_cmd =
-  Cmd.v
+  obs_cmd
     (Cmd.info "miller-eval"
        ~doc:"evaluate a two-stage Miller OTA sizing at transistor level")
-    Term.(const miller_eval $ miller_param_term)
+    Term.(const (fun p () -> miller_eval p) $ miller_param_term)
 
 (* ---------- corners ---------- *)
 
@@ -164,20 +218,21 @@ let corners params =
   0
 
 let corners_cmd =
-  Cmd.v
+  obs_cmd
     (Cmd.info "corners" ~doc:"evaluate a design across process corners")
-    Term.(const corners $ param_term)
+    Term.(const (fun p () -> corners p) $ param_term)
 
 (* ---------- mc ---------- *)
 
 let mc params samples seed min_gain min_pm =
   let rng = Rng.create seed in
-  let results =
-    Montecarlo.run ~samples ~rng (fun r ->
+  let outcome =
+    Montecarlo.run_counted ~samples ~rng (fun r ->
         Tb.evaluate_sampled ~spec:Variation.default_spec ~rng:r params)
   in
+  let results = outcome.Montecarlo.results in
   if Array.length results = 0 then begin
-    prerr_endline "all samples failed";
+    Printf.eprintf "all %d samples failed\n" outcome.Montecarlo.attempted;
     1
   end
   else begin
@@ -191,7 +246,9 @@ let mc params samples seed min_gain min_pm =
         (Yield_stats.Summary.min_value s)
         (Yield_stats.Summary.max_value s)
     in
-    Printf.printf "%d successful samples\n" (Array.length results);
+    Printf.printf "%d successful samples (%d attempted, %d failed)\n"
+      (Array.length results) outcome.Montecarlo.attempted
+      outcome.Montecarlo.failed;
     stats "gain" gains;
     stats "pm" pms;
     (match (min_gain, min_pm) with
@@ -220,9 +277,11 @@ let mc_cmd =
   let pm =
     Arg.(value & opt (some float) None & info [ "min-pm" ] ~docv:"DEG" ~doc:"phase-margin spec")
   in
-  Cmd.v
+  obs_cmd
     (Cmd.info "mc" ~doc:"Monte Carlo analysis of one design")
-    Term.(const mc $ param_term $ samples_term 200 $ seed_term $ gain $ pm)
+    Term.(
+      const (fun p n s g m () -> mc p n s g m)
+      $ param_term $ samples_term 200 $ seed_term $ gain $ pm)
 
 (* ---------- optimize ---------- *)
 
@@ -279,9 +338,11 @@ let optimize_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"write the front as a .tbl file")
   in
-  Cmd.v
+  obs_cmd
     (Cmd.info "optimize" ~doc:"run the WBGA multi-objective optimisation")
-    Term.(const optimize $ pop $ gens $ seed_term $ out)
+    Term.(
+      const (fun p g s o () -> optimize p g s o)
+      $ pop $ gens $ seed_term $ out)
 
 (* ---------- flow ---------- *)
 
@@ -308,8 +369,13 @@ let flow fast topology out_dir =
   Printf.printf "front %d points, %d variation points\n"
     (Array.length flow.Flow.front_points)
     (Array.length flow.Flow.var_points);
-  Printf.printf "total simulations: %d (%.1f s)\n"
+  Printf.printf
+    "total simulations: %d (optimisation %d, front %d, mc %d)\n"
     (Flow.total_sims flow.Flow.counts)
+    flow.Flow.counts.Flow.optimisation_sims flow.Flow.counts.Flow.front_sims
+    flow.Flow.counts.Flow.mc_sims;
+  Printf.printf "timings: optimisation %.1f s, mc %.1f s, total %.1f s\n"
+    flow.Flow.timings.Flow.optimisation_s flow.Flow.timings.Flow.mc_s
     flow.Flow.timings.Flow.total_s;
   List.iter (Printf.printf "wrote %s\n") written;
   0
@@ -325,9 +391,9 @@ let flow_cmd =
   let out_dir =
     Arg.(value & opt string "." & info [ "out-dir" ] ~docv:"DIR" ~doc:"where to write the model tables")
   in
-  Cmd.v
+  obs_cmd
     (Cmd.info "flow" ~doc:"run the full model-generation flow (Figure 3)")
-    Term.(const flow $ fast $ topology $ out_dir)
+    Term.(const (fun f t o () -> flow f t o) $ fast $ topology $ out_dir)
 
 (* ---------- design ---------- *)
 
@@ -369,9 +435,9 @@ let design_cmd =
   let pm =
     Arg.(required & opt (some float) None & info [ "min-pm" ] ~docv:"DEG" ~doc:"phase-margin spec (deg)")
   in
-  Cmd.v
+  obs_cmd
     (Cmd.info "design" ~doc:"yield-targeted design query against saved tables")
-    Term.(const design $ tables_dir_term $ gain $ pm)
+    Term.(const (fun d g p () -> design d g p) $ tables_dir_term $ gain $ pm)
 
 (* ---------- filter ---------- *)
 
@@ -395,9 +461,9 @@ let filter_cmd =
   let rout =
     Arg.(value & opt float 2e6 & info [ "rout" ] ~docv:"OHM" ~doc:"OTA output resistance")
   in
-  Cmd.v
+  obs_cmd
     (Cmd.info "filter" ~doc:"design the Section 5 anti-aliasing filter")
-    Term.(const filter_design $ gain $ rout $ seed_term)
+    Term.(const (fun g r s () -> filter_design g r s) $ gain $ rout $ seed_term)
 
 (* ---------- step ---------- *)
 
@@ -420,9 +486,9 @@ let step_cmd =
   let amplitude =
     Arg.(value & opt float 0.5 & info [ "amplitude" ] ~docv:"V" ~doc:"input step size")
   in
-  Cmd.v
+  obs_cmd
     (Cmd.info "step" ~doc:"unity-gain follower step response (transient)")
-    Term.(const step $ param_term $ amplitude)
+    Term.(const (fun p a () -> step p a) $ param_term $ amplitude)
 
 (* ---------- noise ---------- *)
 
@@ -443,9 +509,9 @@ let noise params =
       0
 
 let noise_cmd =
-  Cmd.v
+  obs_cmd
     (Cmd.info "noise" ~doc:"input-referred noise of a design")
-    Term.(const noise $ param_term)
+    Term.(const (fun p () -> noise p) $ param_term)
 
 (* ---------- sensitivity ---------- *)
 
@@ -481,9 +547,9 @@ let sensitivity params =
   if a = 0 && b = 0 then 0 else 1
 
 let sensitivity_cmd =
-  Cmd.v
+  obs_cmd
     (Cmd.info "sensitivity" ~doc:"global-variation sensitivity of a design")
-    Term.(const sensitivity $ param_term)
+    Term.(const (fun p () -> sensitivity p) $ param_term)
 
 (* ---------- export-va ---------- *)
 
@@ -502,10 +568,10 @@ let export_va_cmd =
   let out_dir =
     Arg.(value & opt string "." & info [ "out-dir" ] ~docv:"DIR" ~doc:"output directory")
   in
-  Cmd.v
+  obs_cmd
     (Cmd.info "export-va"
        ~doc:"emit the Verilog-A behavioural module and its table files")
-    Term.(const export_va $ tables_dir_term $ out_dir)
+    Term.(const (fun t o () -> export_va t o) $ tables_dir_term $ out_dir)
 
 (* ---------- netlist ---------- *)
 
@@ -584,9 +650,9 @@ let netlist_cmd =
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"netlist file")
   in
-  Cmd.v
+  obs_cmd
     (Cmd.info "netlist" ~doc:"parse a netlist and print its DC operating point")
-    Term.(const netlist_run $ path)
+    Term.(const (fun p () -> netlist_run p) $ path)
 
 (* ---------- main ---------- *)
 

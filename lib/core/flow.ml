@@ -8,6 +8,17 @@ module Perf_model = Yield_behavioural.Perf_model
 module Var_model = Yield_behavioural.Var_model
 module Macromodel = Yield_behavioural.Macromodel
 module Yield_target = Yield_behavioural.Yield_target
+module Metrics = Yield_obs.Metrics
+module Span = Yield_obs.Span
+
+(* the flow's public accounting is derived from the metrics registry: the
+   same counters every sink exports ("wbga.evaluations" is the one [Wbga]
+   bumps, "mc.samples.attempted" the one [Montecarlo] bumps) *)
+let c_front_sims = Metrics.counter "flow.front_sims"
+
+let c_wbga_evaluations = Metrics.counter "wbga.evaluations"
+
+let c_mc_attempted = Metrics.counter "mc.samples.attempted"
 
 type counts = {
   optimisation_sims : int;
@@ -66,103 +77,130 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
 
   let run ?(log = nop) (config : Config.t) =
     let conditions = config.Config.conditions in
-    let t_start = Unix.gettimeofday () in
-    (* --- step 1-2: netlist generation + WBGA optimisation --- *)
-    let evaluate params =
-      match T.evaluate ~conditions (A.params_of_array params) with
-      | Some perf when Gtb.feasible conditions perf -> Some (Gtb.objectives perf)
-      | Some _ | None -> None
-    in
-    let rng = Rng.create config.Config.seed in
-    log
-      (Printf.sprintf "flow: WBGA %d x %d"
-         config.Config.ga.Yield_ga.Ga.population_size
-         config.Config.ga.Yield_ga.Ga.generations);
-    let wbga =
-      Wbga.run ~config:config.Config.ga ~param_ranges:A.param_ranges
-        ~objectives:
-          [|
-            { Wbga.name = "gain"; maximise = true };
-            { Wbga.name = "pm"; maximise = true };
-          |]
-        ~rng ~evaluate ()
-    in
-    let t_opt = Unix.gettimeofday () in
-    log
-      (Printf.sprintf "flow: %d evaluations, %d infeasible, front %d"
-         wbga.Wbga.evaluations wbga.Wbga.failures
-         (Array.length wbga.Wbga.front));
-    if Array.length wbga.Wbga.front < 2 then
-      failwith "Flow.run: optimisation produced no usable Pareto front";
-    (* --- step 3: performance model: nominal re-simulation of the front for
-       the auxiliary columns (rout, fu) --- *)
-    let front_sims = ref 0 in
-    let front_points =
-      Array.to_list wbga.Wbga.front
-      |> List.filter_map (fun (e : Wbga.entry) ->
-             incr front_sims;
-             match T.evaluate ~conditions (A.params_of_array e.Wbga.params) with
-             | Some perf ->
-                 Some
-                   {
-                     Perf_model.gain_db = perf.Gtb.gain_db;
-                     pm_deg = perf.Gtb.phase_margin_deg;
-                     params = e.Wbga.params;
-                     rout = perf.Gtb.rout_est;
-                     unity_gain_hz = perf.Gtb.unity_gain_hz;
-                   }
-             | None -> None)
-      |> Array.of_list
-    in
-    (* --- step 4: variation model: Monte Carlo on (a stride of) the
-       front --- *)
-    let stride = Stdlib.max 1 config.Config.front_stride in
-    let mc_rng = Rng.create (config.Config.seed + 1) in
-    let mc_sims = ref 0 in
-    let var_points = ref [] in
-    Array.iteri
-      (fun i (p : Perf_model.point) ->
-        if i mod stride = 0 then begin
-          let params = A.params_of_array p.Perf_model.params in
-          let counter = Atomic.make 0 in
-          let results =
-            Montecarlo.run_parallel ~samples:config.Config.mc_samples
-              ~rng:mc_rng (fun sample_rng ->
-                Atomic.incr counter;
-                T.evaluate_sampled ~conditions ~spec:config.Config.variation
-                  ~rng:sample_rng params)
-          in
-          mc_sims := !mc_sims + Atomic.get counter;
-          if Array.length results >= 8 then begin
-            let gains = Array.map (fun r -> r.Gtb.gain_db) results in
-            let pms = Array.map (fun r -> r.Gtb.phase_margin_deg) results in
-            let dgain =
-              Montecarlo.spread_pct gains ~nominal:p.Perf_model.gain_db
+    (* counter baselines: the per-run counts are registry deltas *)
+    let evaluations0 = Metrics.value c_wbga_evaluations in
+    let front_sims0 = Metrics.value c_front_sims in
+    let mc_attempted0 = Metrics.value c_mc_attempted in
+    let optimisation_s = ref 0. in
+    let mc_s = ref 0. in
+    let build () =
+      (* --- step 1-2: netlist generation + WBGA optimisation --- *)
+      let evaluate params =
+        match T.evaluate ~conditions (A.params_of_array params) with
+        | Some perf when Gtb.feasible conditions perf ->
+            Some (Gtb.objectives perf)
+        | Some _ | None -> None
+      in
+      let rng = Rng.create config.Config.seed in
+      log
+        (Printf.sprintf "flow: WBGA %d x %d"
+           config.Config.ga.Yield_ga.Ga.population_size
+           config.Config.ga.Yield_ga.Ga.generations);
+      let wbga, wbga_s =
+        Span.timed ~name:"flow.wbga" (fun () ->
+            Wbga.run ~config:config.Config.ga ~param_ranges:A.param_ranges
+              ~objectives:
+                [|
+                  { Wbga.name = "gain"; maximise = true };
+                  { Wbga.name = "pm"; maximise = true };
+                |]
+              ~rng ~evaluate ())
+      in
+      optimisation_s := wbga_s;
+      log
+        (Printf.sprintf "flow: %d evaluations, %d infeasible, front %d"
+           wbga.Wbga.evaluations wbga.Wbga.failures
+           (Array.length wbga.Wbga.front));
+      if Array.length wbga.Wbga.front < 2 then
+        failwith "Flow.run: optimisation produced no usable Pareto front";
+      (* --- step 3: performance model: nominal re-simulation of the front
+         for the auxiliary columns (rout, fu) --- *)
+      let front_points =
+        Span.with_ ~name:"flow.front-resim" (fun () ->
+            Array.to_list wbga.Wbga.front
+            |> List.filter_map (fun (e : Wbga.entry) ->
+                   Metrics.incr c_front_sims;
+                   match
+                     T.evaluate ~conditions (A.params_of_array e.Wbga.params)
+                   with
+                   | Some perf ->
+                       Some
+                         {
+                           Perf_model.gain_db = perf.Gtb.gain_db;
+                           pm_deg = perf.Gtb.phase_margin_deg;
+                           params = e.Wbga.params;
+                           rout = perf.Gtb.rout_est;
+                           unity_gain_hz = perf.Gtb.unity_gain_hz;
+                         }
+                   | None -> None)
+            |> Array.of_list)
+      in
+      (* --- step 4: variation model: Monte Carlo on (a stride of) the
+         front --- *)
+      let var_points, var_mc_s =
+        Span.timed ~name:"flow.mc" (fun () ->
+            let stride = Stdlib.max 1 config.Config.front_stride in
+            let mc_rng = Rng.create (config.Config.seed + 1) in
+            let var_points = ref [] in
+            Array.iteri
+              (fun i (p : Perf_model.point) ->
+                if i mod stride = 0 then begin
+                  let params = A.params_of_array p.Perf_model.params in
+                  let outcome =
+                    Montecarlo.run_parallel_counted
+                      ~samples:config.Config.mc_samples ~rng:mc_rng
+                      (fun sample_rng ->
+                        T.evaluate_sampled ~conditions
+                          ~spec:config.Config.variation ~rng:sample_rng params)
+                  in
+                  let results = outcome.Montecarlo.results in
+                  if Array.length results >= 8 then begin
+                    let gains = Array.map (fun r -> r.Gtb.gain_db) results in
+                    let pms =
+                      Array.map (fun r -> r.Gtb.phase_margin_deg) results
+                    in
+                    let dgain =
+                      Montecarlo.spread_pct gains ~nominal:p.Perf_model.gain_db
+                    in
+                    let dpm =
+                      Montecarlo.spread_pct pms ~nominal:p.Perf_model.pm_deg
+                    in
+                    var_points :=
+                      {
+                        Var_model.gain_db = p.Perf_model.gain_db;
+                        pm_deg = p.Perf_model.pm_deg;
+                        dgain_pct = dgain;
+                        dpm_pct = dpm;
+                        mc_samples = Array.length results;
+                      }
+                      :: !var_points
+                  end
+                end)
+              front_points;
+            Array.of_list (List.rev !var_points))
+      in
+      mc_s := var_mc_s;
+      log
+        (Printf.sprintf "flow: variation model from %d points x %d MC samples"
+           (Array.length var_points) config.Config.mc_samples);
+      (* --- step 5: table models --- *)
+      let perf_model, var_model, macromodel =
+        Span.with_ ~name:"flow.tables" (fun () ->
+            let perf_model =
+              Perf_model.create ~control:config.Config.control front_points
             in
-            let dpm = Montecarlo.spread_pct pms ~nominal:p.Perf_model.pm_deg in
-            var_points :=
-              {
-                Var_model.gain_db = p.Perf_model.gain_db;
-                pm_deg = p.Perf_model.pm_deg;
-                dgain_pct = dgain;
-                dpm_pct = dpm;
-                mc_samples = Array.length results;
-              }
-              :: !var_points
-          end
-        end)
-      front_points;
-    let var_points = Array.of_list (List.rev !var_points) in
-    let t_mc = Unix.gettimeofday () in
-    log
-      (Printf.sprintf "flow: variation model from %d points x %d MC samples"
-         (Array.length var_points) config.Config.mc_samples);
-    (* --- step 5: table models --- *)
-    let perf_model =
-      Perf_model.create ~control:config.Config.control front_points
+            let var_model =
+              Var_model.create ~control:config.Config.control var_points
+            in
+            let macromodel = Macromodel.create perf_model var_model in
+            (perf_model, var_model, macromodel))
+      in
+      (wbga, front_points, var_points, perf_model, var_model, macromodel)
     in
-    let var_model = Var_model.create ~control:config.Config.control var_points in
-    let macromodel = Macromodel.create perf_model var_model in
+    let (wbga, front_points, var_points, perf_model, var_model, macromodel),
+        total_s =
+      Span.timed ~name:"flow.run" build
+    in
     {
       config;
       wbga;
@@ -173,16 +211,12 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
       macromodel;
       counts =
         {
-          optimisation_sims = wbga.Wbga.evaluations;
-          front_sims = !front_sims;
-          mc_sims = !mc_sims;
+          optimisation_sims = Metrics.value c_wbga_evaluations - evaluations0;
+          front_sims = Metrics.value c_front_sims - front_sims0;
+          mc_sims = Metrics.value c_mc_attempted - mc_attempted0;
         };
       timings =
-        {
-          optimisation_s = t_opt -. t_start;
-          mc_s = t_mc -. t_opt;
-          total_s = Unix.gettimeofday () -. t_start;
-        };
+        { optimisation_s = !optimisation_s; mc_s = !mc_s; total_s };
     }
 
   let verify_design t ?(samples = 500) ?(seed = 77) ~spec params =
@@ -191,13 +225,17 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
     | None -> Error "verify_design: nominal evaluation failed"
     | Some nominal ->
         let rng = Rng.create seed in
-        let results =
-          Montecarlo.run_parallel ~samples ~rng (fun sample_rng ->
+        let outcome =
+          Montecarlo.run_parallel_counted ~samples ~rng (fun sample_rng ->
               T.evaluate_sampled ~conditions ~spec:t.config.Config.variation
                 ~rng:sample_rng params)
         in
+        let results = outcome.Montecarlo.results in
         if Array.length results = 0 then
-          Error "verify_design: all samples failed"
+          Error
+            (Printf.sprintf
+               "verify_design: all samples failed (%d attempted, %d failed)"
+               outcome.Montecarlo.attempted outcome.Montecarlo.failed)
         else begin
           let gains = Array.map (fun r -> r.Gtb.gain_db) results in
           let pms = Array.map (fun r -> r.Gtb.phase_margin_deg) results in

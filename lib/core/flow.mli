@@ -9,6 +9,9 @@ type counts = {
   front_sims : int;  (** nominal re-evaluations of the Pareto points *)
   mc_sims : int;  (** Monte Carlo evaluations of the variation step *)
 }
+(** The paper's cost accounting, derived from the {!Yield_obs.Metrics}
+    registry (deltas of the ["wbga.evaluations"], ["flow.front_sims"] and
+    ["mc.samples.attempted"] counters over the run). *)
 
 val total_sims : counts -> int
 
@@ -17,6 +20,10 @@ type timings = {
   mc_s : float;
   total_s : float;
 }
+(** Stage wall-clock, measured by the ["flow.wbga"], ["flow.mc"] and
+    ["flow.run"] spans (the full per-stage set — including the front
+    re-simulation and table build — is in the span events and the
+    ["span.flow.*"] histograms). *)
 
 type t = {
   config : Config.t;

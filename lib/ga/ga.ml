@@ -1,4 +1,5 @@
 module Rng = Yield_stats.Rng
+module Span = Yield_obs.Span
 
 type config = {
   population_size : int;
@@ -85,16 +86,18 @@ let run config encoding rng ~score =
   let population = ref (Array.init pop_size (fun _ -> Genome.random encoding rng)) in
   let best = ref None in
   for gen = 0 to config.generations - 1 do
-    let evaluated = evaluate !population in
-    Array.iter
-      (fun e ->
-        match !best with
-        | Some b when b.fitness >= e.fitness -> ()
-        | _ -> best := Some e)
-      evaluated;
-    history.(gen) <-
-      (match !best with Some b -> b.fitness | None -> neg_infinity);
-    if gen < config.generations - 1 then population := next_generation evaluated
+    Span.with_ ~name:"ga.generation" (fun () ->
+        let evaluated = evaluate !population in
+        Array.iter
+          (fun e ->
+            match !best with
+            | Some b when b.fitness >= e.fitness -> ()
+            | _ -> best := Some e)
+          evaluated;
+        history.(gen) <-
+          (match !best with Some b -> b.fitness | None -> neg_infinity);
+        if gen < config.generations - 1 then
+          population := next_generation evaluated)
   done;
   let best =
     match !best with

@@ -1,3 +1,9 @@
+module Metrics = Yield_obs.Metrics
+
+let c_evaluations = Metrics.counter "wbga.evaluations"
+
+let c_infeasible = Metrics.counter "wbga.infeasible"
+
 type objective = { name : string; maximise : bool }
 
 type entry = {
@@ -55,6 +61,8 @@ let run ?(config = Ga.default_config) ~param_ranges ~objectives ~rng ~evaluate (
       population raw_results
   in
   let ga_result = Ga.run config encoding rng ~score in
+  Metrics.add c_evaluations ga_result.Ga.evaluations;
+  Metrics.add c_infeasible !failures;
   let archive =
     Array.of_list
       (List.filter_map

@@ -1,0 +1,12 @@
+(** Timestamps for the telemetry subsystem.
+
+    OCaml's stdlib exposes no monotonic clock, so this wraps
+    [Unix.gettimeofday] behind a single chokepoint: every obs timestamp
+    flows through here, and swapping in a true monotonic source (mtime,
+    clock_gettime bindings) is a one-file change. *)
+
+val now_s : unit -> float
+(** Seconds since the Unix epoch. *)
+
+val now_us : unit -> float
+(** Microseconds since the Unix epoch (the unit of Chrome trace [ts]). *)

@@ -1,0 +1,105 @@
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  store : float array;  (** reservoir; the first [stored] cells are live *)
+  mutable lcg : int;  (** deterministic replacement stream *)
+  lock : Mutex.t;
+}
+
+type summary = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let create ?(capacity = 2048) () =
+  if capacity <= 0 then invalid_arg "Histogram.create: capacity <= 0";
+  {
+    count = 0;
+    sum = 0.;
+    vmin = infinity;
+    vmax = neg_infinity;
+    store = Array.make capacity 0.;
+    lcg = 0x2545F49;
+    lock = Mutex.create ();
+  }
+
+let observe t v =
+  Mutex.lock t.lock;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  let cap = Array.length t.store in
+  if t.count <= cap then t.store.(t.count - 1) <- v
+  else begin
+    (* reservoir sampling: keep each observation with probability cap/count *)
+    t.lcg <- ((t.lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    let j = t.lcg mod t.count in
+    if j < cap then t.store.(j) <- v
+  end;
+  Mutex.unlock t.lock
+
+let count t =
+  Mutex.lock t.lock;
+  let c = t.count in
+  Mutex.unlock t.lock;
+  c
+
+(* snapshot of the live reservoir plus the exact moments, under the lock *)
+let snapshot t =
+  Mutex.lock t.lock;
+  let stored = Stdlib.min t.count (Array.length t.store) in
+  let values = Array.sub t.store 0 stored in
+  let count = t.count and sum = t.sum and vmin = t.vmin and vmax = t.vmax in
+  Mutex.unlock t.lock;
+  (count, sum, vmin, vmax, values)
+
+let quantile_of_sorted xs q =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let h = q *. float_of_int (n - 1) in
+    let clamp i = Stdlib.max 0 (Stdlib.min (n - 1) i) in
+    let lo = clamp (int_of_float (Float.floor h)) in
+    let hi = clamp (int_of_float (Float.ceil h)) in
+    xs.(lo) +. ((h -. float_of_int lo) *. (xs.(hi) -. xs.(lo)))
+  end
+
+let summarize t =
+  let count, sum, vmin, vmax, values = snapshot t in
+  if count = 0 then
+    { count = 0; sum = 0.; mean = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+  else begin
+    Array.sort Float.compare values;
+    {
+      count;
+      sum;
+      mean = sum /. float_of_int count;
+      min = vmin;
+      max = vmax;
+      p50 = quantile_of_sorted values 0.5;
+      p90 = quantile_of_sorted values 0.9;
+      p99 = quantile_of_sorted values 0.99;
+    }
+  end
+
+let quantile t q =
+  let _, _, _, _, values = snapshot t in
+  Array.sort Float.compare values;
+  quantile_of_sorted values q
+
+let reset t =
+  Mutex.lock t.lock;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.vmin <- infinity;
+  t.vmax <- neg_infinity;
+  Mutex.unlock t.lock

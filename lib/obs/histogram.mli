@@ -1,0 +1,34 @@
+(** A streaming histogram with O(1) record cost.
+
+    Exact count/sum/min/max plus quantile estimates from a fixed-size
+    reservoir (uniform sampling with a deterministic generator, so repeated
+    runs summarise identically).  Safe to record from multiple domains. *)
+
+type t
+
+type summary = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;  (** 0. when empty *)
+  max : float;  (** 0. when empty *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the quantile reservoir (default 2048).  Up to
+    [capacity] observations the quantiles are exact. *)
+
+val observe : t -> float -> unit
+
+val count : t -> int
+
+val summarize : t -> summary
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]; linear interpolation between order
+    statistics of the reservoir.  0. when empty. *)
+
+val reset : t -> unit

@@ -1,0 +1,240 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---------- emission ---------- *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_float b f =
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.1f" f)
+  else Buffer.add_string b (Printf.sprintf "%.17g" f)
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> add_float b f
+  | String s ->
+      Buffer.add_char b '"';
+      add_escaped b s;
+      Buffer.add_char b '"'
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          add_escaped b k;
+          Buffer.add_string b "\":";
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string t =
+  let b = Buffer.create 256 in
+  write b t;
+  Buffer.contents b
+
+(* ---------- parsing ---------- *)
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let len = String.length word in
+    if !pos + len <= n && String.sub s !pos len = word then begin
+      pos := !pos + len;
+      v
+    end
+    else fail "malformed literal"
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let h = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    h
+  in
+  let add_utf8 b code =
+    (* enough for round-tripping our own escapes; surrogate pairs are not
+       produced by the emitter *)
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "truncated escape";
+          let c = s.[!pos] in
+          incr pos;
+          (match c with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' -> add_utf8 b (hex4 ())
+          | _ -> fail "unknown escape");
+          loop ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && number_char s.[!pos] do
+      incr pos
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "malformed number")
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elements (v :: acc)
+            | Some ']' ->
+                incr pos;
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elements [])
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+(* ---------- accessors ---------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let number_value = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let string_value = function String s -> Some s | _ -> None

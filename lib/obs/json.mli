@@ -1,0 +1,31 @@
+(** A minimal JSON representation: enough to emit and re-read the metric
+    snapshots, JSONL event logs and Chrome traces without pulling in an
+    external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) serialisation.  Non-finite floats become [null]
+    (JSON has no representation for them). *)
+
+val parse : string -> t
+(** Inverse of {!to_string} for the subset this module emits, plus
+    whitespace and [\uXXXX] escapes.  Numbers without [.], [e] or [E] parse
+    as [Int].  @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value bound to [key] when [json] is an [Obj]. *)
+
+val number_value : t -> float option
+(** [Int] or [Float] payload as a float. *)
+
+val string_value : t -> string option

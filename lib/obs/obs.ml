@@ -1,0 +1,23 @@
+let verbose_flag = ref false
+
+let set_verbose v =
+  verbose_flag := v;
+  Span.set_on_close
+    (if v then
+       Some
+         (fun (e : Span.event) ->
+           Printf.eprintf "[span] %*s%s %.3f ms\n%!" (2 * e.Span.depth) ""
+             e.Span.name (e.Span.dur_us /. 1e3))
+     else None)
+
+let verbose () = !verbose_flag
+
+let flush ?trace ?metrics () =
+  Option.iter (fun path -> Sink.write_chrome_trace ~path ()) trace;
+  Option.iter (fun path -> Sink.write_metrics_jsonl ~path ()) metrics
+
+let summary () = Sink.text_of ~spans:(Span.events ()) (Metrics.snapshot ())
+
+let reset () =
+  Span.clear ();
+  Metrics.reset ()

@@ -1,0 +1,23 @@
+(** Facade over the telemetry subsystem: the pieces an entry point needs.
+
+    Recording (spans, counters, histograms) is always on — it is cheap
+    enough that the fast-scale flow pays well under 2 % — and nothing is
+    written anywhere until {!flush} is called with explicit paths, so a
+    run without [--trace]/[--metrics] only ever buffers in memory. *)
+
+val set_verbose : bool -> unit
+(** When on, every span prints a line to stderr as it closes (an indented
+    live trace). *)
+
+val verbose : unit -> bool
+
+val flush : ?trace:string -> ?metrics:string -> unit -> unit
+(** Write the Chrome trace and/or the JSONL metric+event log to the given
+    paths (see {!Sink}).  Omitted sinks write nothing. *)
+
+val summary : unit -> string
+(** Human-readable dump of the current metric snapshot and span events. *)
+
+val reset : unit -> unit
+(** Clear span events and zero all metrics: a fresh slate between
+    independent runs in one process. *)

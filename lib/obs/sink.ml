@@ -1,0 +1,101 @@
+let chrome_trace_of_events events =
+  Json.List
+    (List.map
+       (fun (e : Span.event) ->
+         Json.Obj
+           [
+             ("name", Json.String e.Span.name);
+             ("cat", Json.String "yieldlab");
+             ("ph", Json.String "X");
+             ("ts", Json.Float e.Span.ts_us);
+             ("dur", Json.Float e.Span.dur_us);
+             ("pid", Json.Int 1);
+             ("tid", Json.Int e.Span.tid);
+           ])
+       events)
+
+let counter_json (name, v) =
+  Json.Obj
+    [
+      ("type", Json.String "counter");
+      ("name", Json.String name);
+      ("value", Json.Int v);
+    ]
+
+let histogram_fields (s : Histogram.summary) =
+  [
+    ("count", Json.Int s.Histogram.count);
+    ("sum", Json.Float s.Histogram.sum);
+    ("mean", Json.Float s.Histogram.mean);
+    ("min", Json.Float s.Histogram.min);
+    ("max", Json.Float s.Histogram.max);
+    ("p50", Json.Float s.Histogram.p50);
+    ("p90", Json.Float s.Histogram.p90);
+    ("p99", Json.Float s.Histogram.p99);
+  ]
+
+let histogram_json (name, summary) =
+  Json.Obj
+    (("type", Json.String "histogram")
+    :: ("name", Json.String name)
+    :: histogram_fields summary)
+
+let span_json (e : Span.event) =
+  Json.Obj
+    [
+      ("type", Json.String "span");
+      ("name", Json.String e.Span.name);
+      ("ts_us", Json.Float e.Span.ts_us);
+      ("dur_us", Json.Float e.Span.dur_us);
+      ("tid", Json.Int e.Span.tid);
+      ("depth", Json.Int e.Span.depth);
+    ]
+
+let jsonl_of ?(spans = []) (snap : Metrics.snapshot) =
+  let b = Buffer.create 1024 in
+  let line j =
+    Buffer.add_string b (Json.to_string j);
+    Buffer.add_char b '\n'
+  in
+  List.iter (fun c -> line (counter_json c)) snap.Metrics.counters;
+  List.iter (fun h -> line (histogram_json h)) snap.Metrics.histograms;
+  List.iter (fun e -> line (span_json e)) spans;
+  Buffer.contents b
+
+let text_of ?(spans = []) (snap : Metrics.snapshot) =
+  let b = Buffer.create 1024 in
+  if snap.Metrics.counters <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter
+      (fun (name, v) -> Printf.bprintf b "  %-32s %12d\n" name v)
+      snap.Metrics.counters
+  end;
+  if snap.Metrics.histograms <> [] then begin
+    Buffer.add_string b "histograms:\n";
+    List.iter
+      (fun (name, (s : Histogram.summary)) ->
+        Printf.bprintf b
+          "  %-32s n=%-8d mean=%-10.4g p50=%-10.4g p90=%-10.4g p99=%-10.4g \
+           min=%-10.4g max=%.4g\n"
+          name s.Histogram.count s.Histogram.mean s.Histogram.p50
+          s.Histogram.p90 s.Histogram.p99 s.Histogram.min s.Histogram.max)
+      snap.Metrics.histograms
+  end;
+  if spans <> [] then begin
+    Printf.bprintf b "spans (%d events):\n" (List.length spans);
+    List.iter
+      (fun (e : Span.event) ->
+        Printf.bprintf b "  %*s%-28s %10.3f ms (tid %d)\n" (2 * e.Span.depth)
+          "" e.Span.name (e.Span.dur_us /. 1e3) e.Span.tid)
+      spans
+  end;
+  Buffer.contents b
+
+let write_file ~path s =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc s)
+
+let write_chrome_trace ~path () =
+  write_file ~path (Json.to_string (chrome_trace_of_events (Span.events ())))
+
+let write_metrics_jsonl ~path () =
+  write_file ~path (jsonl_of ~spans:(Span.events ()) (Metrics.snapshot ()))

@@ -1,0 +1,30 @@
+(** Export sinks for the recorded telemetry.
+
+    Three formats: human-readable text, a JSONL event log (one JSON object
+    per line: counters, histogram summaries and span events), and a Chrome
+    [trace_event] JSON array that loads directly in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}.
+
+    The pure [*_of_*] functions exist so serialisation can be tested
+    without touching the global registries; the [write_*] functions
+    snapshot the registries and write files. *)
+
+val chrome_trace_of_events : Span.event list -> Json.t
+(** A JSON array of complete ([ph = "X"]) events with [name], [cat], [ph],
+    [ts], [dur], [pid], [tid] fields; [ts]/[dur] in microseconds. *)
+
+val jsonl_of : ?spans:Span.event list -> Metrics.snapshot -> string
+(** One line per counter ([{"type":"counter","name",...,"value":...}]),
+    histogram ([{"type":"histogram",...}], with count/sum/mean/min/max and
+    p50/p90/p99) and span event ([{"type":"span",...}]). *)
+
+val text_of : ?spans:Span.event list -> Metrics.snapshot -> string
+(** An aligned human-readable summary of the same data. *)
+
+val write_chrome_trace : path:string -> unit -> unit
+(** Serialise {!Span.events} to [path]. *)
+
+val write_metrics_jsonl : path:string -> unit -> unit
+(** Serialise the {!Metrics.snapshot} and {!Span.events} to [path]. *)
+
+val write_file : path:string -> string -> unit

@@ -1,0 +1,68 @@
+type event = {
+  name : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  depth : int;
+}
+
+(* event timestamps are relative to the first use of the library, keeping
+   them small enough to survive float printing exactly *)
+let epoch_us = Clock.now_us ()
+
+type buffer = { mutable events : event list; mutable depth : int; tid : int }
+
+let registry_lock = Mutex.create ()
+
+(* every domain's buffer, living past the domain itself (merged "at join") *)
+let buffers : buffer list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { events = []; depth = 0; tid = (Domain.self () :> int) }
+      in
+      Mutex.lock registry_lock;
+      buffers := b :: !buffers;
+      Mutex.unlock registry_lock;
+      b)
+
+let on_close : (event -> unit) ref = ref ignore
+
+let set_on_close f = on_close := (match f with Some f -> f | None -> ignore)
+
+let timed ~name f =
+  let b = Domain.DLS.get key in
+  let depth = b.depth in
+  b.depth <- depth + 1;
+  let t0 = Clock.now_us () in
+  let finish () =
+    let t1 = Clock.now_us () in
+    b.depth <- depth;
+    let e =
+      { name; ts_us = t0 -. epoch_us; dur_us = t1 -. t0; tid = b.tid; depth }
+    in
+    b.events <- e :: b.events;
+    let dur_s = (t1 -. t0) /. 1e6 in
+    Metrics.observe (Metrics.histogram ("span." ^ name)) dur_s;
+    !on_close e;
+    dur_s
+  in
+  match f () with
+  | v -> (v, finish ())
+  | exception exn ->
+      ignore (finish ());
+      raise exn
+
+let with_ ~name f = fst (timed ~name f)
+
+let events () =
+  Mutex.lock registry_lock;
+  let all = List.concat_map (fun b -> b.events) !buffers in
+  Mutex.unlock registry_lock;
+  List.sort (fun a b -> Float.compare a.ts_us b.ts_us) all
+
+let clear () =
+  Mutex.lock registry_lock;
+  List.iter (fun b -> b.events <- []) !buffers;
+  Mutex.unlock registry_lock

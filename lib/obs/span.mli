@@ -1,0 +1,37 @@
+(** Hierarchical timed spans.
+
+    Each domain records into its own buffer (registered globally on first
+    use, so nothing is lost when a worker domain is joined and dies);
+    {!events} merges all buffers.  Nesting is tracked per domain and
+    carried on the event, and is also implied by the timestamp containment
+    the Chrome trace viewer uses.
+
+    A span additionally feeds its duration (in seconds) into the
+    ["span.<name>"] histogram of {!Metrics}, so per-stage statistics
+    survive {!clear} and appear in metric snapshots. *)
+
+type event = {
+  name : string;
+  ts_us : float;  (** start, microseconds since the process epoch *)
+  dur_us : float;
+  tid : int;  (** recording domain's id *)
+  depth : int;  (** nesting depth within that domain *)
+}
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  The event is recorded even when the thunk
+    raises. *)
+
+val timed : name:string -> (unit -> 'a) -> 'a * float
+(** Like {!with_} but also returns the measured duration in seconds. *)
+
+val events : unit -> event list
+(** All events recorded so far, across every domain, sorted by start
+    time. *)
+
+val clear : unit -> unit
+(** Drop the recorded events (the ["span.*"] histograms are untouched). *)
+
+val set_on_close : (event -> unit) option -> unit
+(** Install a hook called on every span close (used by the verbose text
+    sink).  [None] removes it. *)

@@ -1,44 +1,81 @@
 module Rng = Yield_stats.Rng
 module Summary = Yield_stats.Summary
+module Metrics = Yield_obs.Metrics
+module Span = Yield_obs.Span
 
-let run ~samples ~rng f =
-  let results = ref [] in
-  for _ = 1 to samples do
-    let child = Rng.split rng in
-    match f child with
-    | Some r -> results := r :: !results
-    | None -> ()
-  done;
-  Array.of_list (List.rev !results)
+type 'a counted = { results : 'a array; attempted : int; failed : int }
 
-let run_parallel ?domains ~samples ~rng f =
+let c_attempted = Metrics.counter "mc.samples.attempted"
+
+let c_failed = Metrics.counter "mc.samples.failed"
+
+let record ~attempted ~failed =
+  Metrics.add c_attempted attempted;
+  Metrics.add c_failed failed
+
+let run_counted ~samples ~rng f =
+  Span.with_ ~name:"mc.batch" (fun () ->
+      let results = ref [] in
+      let failed = ref 0 in
+      for _ = 1 to samples do
+        let child = Rng.split rng in
+        match f child with
+        | Some r -> results := r :: !results
+        | None -> incr failed
+      done;
+      record ~attempted:samples ~failed:!failed;
+      {
+        results = Array.of_list (List.rev !results);
+        attempted = samples;
+        failed = !failed;
+      })
+
+let run ~samples ~rng f = (run_counted ~samples ~rng f).results
+
+let run_parallel_counted ?domains ~samples ~rng f =
   let domains =
     match domains with
     | Some d -> Stdlib.max 1 d
     | None -> Stdlib.min 8 (Domain.recommended_domain_count ())
   in
-  if domains <= 1 || samples <= 1 then run ~samples ~rng f
-  else begin
-    (* split all child streams sequentially first, so the sample streams are
-       identical to the serial path *)
-    let children = Array.init samples (fun _ -> Rng.split rng) in
-    let slots = Array.make samples None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < samples then begin
-          slots.(i) <- f children.(i);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
-    Array.of_list (List.filter_map Fun.id (Array.to_list slots))
-  end
+  if domains <= 1 || samples <= 1 then run_counted ~samples ~rng f
+  else
+    Span.with_ ~name:"mc.batch" (fun () ->
+        (* split all child streams sequentially first, so the sample streams
+           are identical to the serial path *)
+        let children = Array.init samples (fun _ -> Rng.split rng) in
+        let slots = Array.make samples None in
+        let next = Atomic.make 0 in
+        let worker () =
+          (* one span per domain: its duration against the batch span is the
+             per-domain utilisation *)
+          Span.with_ ~name:"mc.worker" (fun () ->
+              let rec loop () =
+                let i = Atomic.fetch_and_add next 1 in
+                if i < samples then begin
+                  slots.(i) <- f children.(i);
+                  loop ()
+                end
+              in
+              loop ())
+        in
+        let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        Array.iter Domain.join spawned;
+        let failed =
+          Array.fold_left
+            (fun acc s -> match s with None -> acc + 1 | Some _ -> acc)
+            0 slots
+        in
+        record ~attempted:samples ~failed;
+        {
+          results = Array.of_list (List.filter_map Fun.id (Array.to_list slots));
+          attempted = samples;
+          failed;
+        })
+
+let run_parallel ?domains ~samples ~rng f =
+  (run_parallel_counted ?domains ~samples ~rng f).results
 
 type yield_estimate = {
   pass : int;

@@ -1,21 +1,46 @@
-(** Generic Monte Carlo driver and yield estimation. *)
+(** Generic Monte Carlo driver and yield estimation.
+
+    Every batch is instrumented: a ["mc.batch"] span (plus one
+    ["mc.worker"] span per domain on the parallel path, whose durations
+    give the per-domain utilisation) and the ["mc.samples.attempted"] /
+    ["mc.samples.failed"] counters in {!Yield_obs.Metrics}. *)
+
+type 'a counted = {
+  results : 'a array;  (** the successful samples, in sample order *)
+  attempted : int;  (** how many samples were drawn ([= samples]) *)
+  failed : int;  (** how many returned [None] (e.g. DC non-convergence) *)
+}
+(** A batch outcome that keeps the failure accounting: [attempted] is the
+    honest denominator a yield estimate needs, which the bare result array
+    of {!run} silently loses. *)
+
+val run_counted :
+  samples:int -> rng:Yield_stats.Rng.t -> (Yield_stats.Rng.t -> 'a option) ->
+  'a counted
+(** [run_counted ~samples ~rng f] calls [f] with an independent child
+    stream per sample and collects the successful results together with the
+    attempted/failed counts. *)
+
+val run_parallel_counted :
+  ?domains:int -> samples:int -> rng:Yield_stats.Rng.t ->
+  (Yield_stats.Rng.t -> 'a option) -> 'a counted
+(** Like {!run_counted} but fanned out over OCaml 5 domains (default:
+    [Domain.recommended_domain_count], capped at 8).  Child streams are
+    split sequentially before the fan-out and results are collected in
+    sample order, so the outcome is {e identical} to {!run_counted} with
+    the same [rng].  [f] must not share mutable state across calls. *)
 
 val run :
   samples:int -> rng:Yield_stats.Rng.t -> (Yield_stats.Rng.t -> 'a option) ->
   'a array
-(** [run ~samples ~rng f] calls [f] with an independent child stream per
-    sample and collects the successful results.  [f] returning [None] (e.g. a
-    non-converging DC solve) drops the sample, so the result array may be
-    shorter than [samples]. *)
+(** [run_counted] keeping only the successful results; the result array may
+    be shorter than [samples].  Prefer {!run_counted} when the caller needs
+    a denominator. *)
 
 val run_parallel :
   ?domains:int -> samples:int -> rng:Yield_stats.Rng.t ->
   (Yield_stats.Rng.t -> 'a option) -> 'a array
-(** Like {!run} but fanned out over OCaml 5 domains (default:
-    [Domain.recommended_domain_count], capped at 8).  Child streams are split
-    sequentially before the fan-out and results are collected in sample
-    order, so the output is {e identical} to {!run} with the same [rng].
-    [f] must not share mutable state across calls. *)
+(** [run_parallel_counted] keeping only the successful results. *)
 
 type yield_estimate = {
   pass : int;

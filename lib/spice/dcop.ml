@@ -1,5 +1,16 @@
 module Vec = Yield_numeric.Vec
 module Lu = Yield_numeric.Lu
+module Metrics = Yield_obs.Metrics
+
+(* static handles: [solve] sits under every Monte Carlo sample, so the
+   instruments are resolved once and each record is O(1) *)
+let h_newton_iterations = Metrics.histogram "dcop.newton_iterations"
+
+let h_gmin_steps = Metrics.histogram "dcop.gmin_steps"
+
+let h_recovery_attempts = Metrics.histogram "dcop.recovery_attempts"
+
+let c_convergence_failures = Metrics.counter "dcop.convergence_failures"
 
 type t = {
   x : Vec.t;
@@ -76,7 +87,14 @@ let solve ?(options = default_options) circuit =
   let attempts = ref [] in
   let note what = attempts := what :: !attempts in
   let finish (x, iterations) =
+    Metrics.observe h_newton_iterations (float_of_int iterations);
+    Metrics.observe h_recovery_attempts (float_of_int (List.length !attempts));
     Ok { x; layout; mos_ops = Mna.mos_operating_points circuit ~x; iterations }
+  in
+  let no_convergence () =
+    Metrics.incr c_convergence_failures;
+    Metrics.observe h_recovery_attempts (float_of_int (List.length !attempts));
+    Error (No_convergence { attempts = List.rev !attempts })
   in
   note "newton";
   match newton circuit layout options ~source_scale:1. ~gmin:options.gmin ~x0 with
@@ -85,9 +103,11 @@ let solve ?(options = default_options) circuit =
       (* gmin stepping: converge a heavily damped system, then relax *)
       note "gmin-stepping";
       let steps = [ 1e-3; 1e-5; 1e-7; 1e-9; 1e-11; options.gmin ] in
+      let gmin_steps = ref 0 in
       let rec gmin_walk x = function
         | [] -> Some x
         | gmin :: rest -> begin
+            incr gmin_steps;
             match newton circuit layout options ~source_scale:1. ~gmin ~x0:x with
             | Some (x', _) -> gmin_walk x' rest
             | None -> None
@@ -98,6 +118,7 @@ let solve ?(options = default_options) circuit =
         | Some x -> newton circuit layout options ~source_scale:1. ~gmin:options.gmin ~x0:x
         | None -> None
       in
+      Metrics.observe h_gmin_steps (float_of_int !gmin_steps);
       match gmin_result with
       | Some result -> finish result
       | None -> begin
@@ -122,9 +143,9 @@ let solve ?(options = default_options) circuit =
                   ~x0:x
               with
               | Some result -> finish result
-              | None -> Error (No_convergence { attempts = List.rev !attempts })
+              | None -> no_convergence ()
             end
-          | None -> Error (No_convergence { attempts = List.rev !attempts })
+          | None -> no_convergence ()
         end
     end
 

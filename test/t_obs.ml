@@ -1,0 +1,307 @@
+(* Tests for the yield_obs telemetry library: span nesting and per-domain
+   merging, histogram quantiles, counter atomicity across domains, JSON /
+   JSONL / Chrome-trace serialisation round-trips — plus the determinism
+   contract of the instrumented Monte Carlo driver. *)
+
+module Json = Yield_obs.Json
+module Histogram = Yield_obs.Histogram
+module Metrics = Yield_obs.Metrics
+module Span = Yield_obs.Span
+module Sink = Yield_obs.Sink
+module Montecarlo = Yield_process.Montecarlo
+module Rng = Yield_stats.Rng
+
+let check_float ?(eps = 1e-9) what expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" what expected actual
+
+(* ---------- spans ---------- *)
+
+let events_named name =
+  List.filter (fun (e : Span.event) -> e.Span.name = name) (Span.events ())
+
+let test_span_nesting () =
+  Span.clear ();
+  let v =
+    Span.with_ ~name:"t.outer" (fun () ->
+        let a = Span.with_ ~name:"t.inner" (fun () -> 20) in
+        let b = Span.with_ ~name:"t.inner" (fun () -> 22) in
+        a + b)
+  in
+  Alcotest.(check int) "value through spans" 42 v;
+  let outer =
+    match events_named "t.outer" with
+    | [ e ] -> e
+    | es -> Alcotest.failf "expected 1 outer event, got %d" (List.length es)
+  in
+  let inners = events_named "t.inner" in
+  Alcotest.(check int) "two inner events" 2 (List.length inners);
+  Alcotest.(check int) "outer at depth 0" 0 outer.Span.depth;
+  List.iter
+    (fun (e : Span.event) ->
+      Alcotest.(check int) "inner at depth 1" 1 e.Span.depth;
+      Alcotest.(check int) "same domain" outer.Span.tid e.Span.tid;
+      Alcotest.(check bool) "inner starts after outer" true
+        (e.Span.ts_us >= outer.Span.ts_us);
+      Alcotest.(check bool) "inner ends before outer" true
+        (e.Span.ts_us +. e.Span.dur_us
+        <= outer.Span.ts_us +. outer.Span.dur_us +. 1e-6))
+    inners
+
+let test_span_survives_exception () =
+  Span.clear ();
+  (try
+     Span.with_ ~name:"t.raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "event recorded despite raise" 1
+    (List.length (events_named "t.raises"))
+
+let test_span_merges_domains () =
+  Span.clear ();
+  let domains =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            Span.with_ ~name:"t.domain" (fun () -> ignore (Sys.opaque_identity i))))
+  in
+  Array.iter Domain.join domains;
+  Span.with_ ~name:"t.domain" (fun () -> ());
+  let es = events_named "t.domain" in
+  Alcotest.(check int) "events from every domain survive the join" 4
+    (List.length es);
+  let tids = List.sort_uniq compare (List.map (fun e -> e.Span.tid) es) in
+  Alcotest.(check int) "distinct domain ids" 4 (List.length tids)
+
+(* ---------- histograms ---------- *)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  (* 1..100 in a scrambled order: quantiles must not depend on arrival *)
+  let xs = Array.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1)) in
+  Array.iter (Histogram.observe h) xs;
+  let s = Histogram.summarize h in
+  Alcotest.(check int) "count" 100 s.Histogram.count;
+  check_float "sum" 5050. s.Histogram.sum;
+  check_float "mean" 50.5 s.Histogram.mean;
+  check_float "min" 1. s.Histogram.min;
+  check_float "max" 100. s.Histogram.max;
+  check_float "p50 (exact on interpolated order stats)" 50.5 s.Histogram.p50;
+  check_float "p90" 90.1 s.Histogram.p90;
+  check_float "p99" 99.01 s.Histogram.p99;
+  check_float "quantile 0" 1. (Histogram.quantile h 0.);
+  check_float "quantile 1" 100. (Histogram.quantile h 1.)
+
+let test_histogram_reservoir () =
+  (* beyond capacity the moments stay exact and quantiles stay plausible *)
+  let h = Histogram.create ~capacity:64 () in
+  for i = 1 to 10_000 do
+    Histogram.observe h (float_of_int i)
+  done;
+  let s = Histogram.summarize h in
+  Alcotest.(check int) "count exact" 10_000 s.Histogram.count;
+  check_float "min exact" 1. s.Histogram.min;
+  check_float "max exact" 10_000. s.Histogram.max;
+  check_float "mean exact" 5000.5 s.Histogram.mean;
+  Alcotest.(check bool) "p50 in bulk" true
+    (s.Histogram.p50 > 2000. && s.Histogram.p50 < 8000.)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  let s = Histogram.summarize h in
+  Alcotest.(check int) "count" 0 s.Histogram.count;
+  check_float "p99 of empty" 0. s.Histogram.p99;
+  check_float "min of empty" 0. s.Histogram.min
+
+(* ---------- metrics registry ---------- *)
+
+let test_counter_concurrent () =
+  let c = Metrics.counter "t.concurrent" in
+  let before = Metrics.value c in
+  let per_domain = 25_000 in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr c
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" (4 * per_domain)
+    (Metrics.value c - before)
+
+let test_registry_shares_handles () =
+  let a = Metrics.counter "t.shared" in
+  let b = Metrics.counter "t.shared" in
+  let v0 = Metrics.value a in
+  Metrics.add b 5;
+  Alcotest.(check int) "same instrument" (v0 + 5) (Metrics.value a);
+  let snap = Metrics.snapshot () in
+  Alcotest.(check bool) "snapshot contains the counter" true
+    (List.mem_assoc "t.shared" snap.Metrics.counters)
+
+(* ---------- serialisation ---------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd\te");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5e-7);
+        ("whole", Json.Float 3.0);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float 2.25; Json.String "x" ]);
+        ("o", Json.Obj [ ("nested", Json.Bool false) ]);
+      ]
+  in
+  let text = Json.to_string j in
+  (match Json.parse text with
+  | Json.Obj kvs ->
+      Alcotest.(check int) "all members" 8 (List.length kvs);
+      Alcotest.(check string) "string escapes" "a\"b\\c\nd\te"
+        (Option.get (Json.string_value (List.assoc "s" kvs)));
+      Alcotest.(check bool) "int" true (List.assoc "i" kvs = Json.Int (-42));
+      check_float "float" 1.5e-7
+        (Option.get (Json.number_value (List.assoc "f" kvs)));
+      check_float "whole float" 3.0
+        (Option.get (Json.number_value (List.assoc "whole" kvs)))
+  | _ -> Alcotest.fail "parsed to a non-object");
+  (* second round trip is a fixpoint *)
+  Alcotest.(check string) "fixpoint" text (Json.to_string (Json.parse text))
+
+let test_chrome_trace_roundtrip () =
+  let events =
+    [
+      { Span.name = "alpha"; ts_us = 10.5; dur_us = 1000.25; tid = 0; depth = 0 };
+      { Span.name = "beta"; ts_us = 20.; dur_us = 4.; tid = 3; depth = 1 };
+    ]
+  in
+  let text = Json.to_string (Sink.chrome_trace_of_events events) in
+  match Json.parse text with
+  | Json.List items ->
+      Alcotest.(check int) "one trace event per span" 2 (List.length items);
+      List.iter2
+        (fun (e : Span.event) item ->
+          let get k = Option.get (Json.member k item) in
+          Alcotest.(check string) "name" e.Span.name
+            (Option.get (Json.string_value (get "name")));
+          Alcotest.(check string) "complete event" "X"
+            (Option.get (Json.string_value (get "ph")));
+          check_float "ts" e.Span.ts_us
+            (Option.get (Json.number_value (get "ts")));
+          check_float "dur" e.Span.dur_us
+            (Option.get (Json.number_value (get "dur")));
+          check_float "pid" 1. (Option.get (Json.number_value (get "pid")));
+          check_float "tid" (float_of_int e.Span.tid)
+            (Option.get (Json.number_value (get "tid"))))
+        events items
+  | _ -> Alcotest.fail "chrome trace is not a JSON array"
+
+let test_jsonl_roundtrip () =
+  let h = Metrics.histogram "t.jsonl.hist" in
+  for i = 1 to 10 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Metrics.add (Metrics.counter "t.jsonl.counter") 7;
+  let spans =
+    [ { Span.name = "t.jsonl.span"; ts_us = 1.; dur_us = 2.; tid = 0; depth = 0 } ]
+  in
+  let text = Sink.jsonl_of ~spans (Metrics.snapshot ()) in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "several lines" true (List.length lines >= 3);
+  let parsed = List.map Json.parse lines in
+  let of_type ty name =
+    List.find_opt
+      (fun j ->
+        Json.member "type" j = Some (Json.String ty)
+        && Json.member "name" j = Some (Json.String name))
+      parsed
+  in
+  (match of_type "counter" "t.jsonl.counter" with
+  | Some j ->
+      Alcotest.(check bool) "counter value present" true
+        (match Json.member "value" j with Some (Json.Int v) -> v >= 7 | _ -> false)
+  | None -> Alcotest.fail "counter line missing");
+  (match of_type "histogram" "t.jsonl.hist" with
+  | Some j ->
+      List.iter
+        (fun field ->
+          Alcotest.(check bool) (field ^ " present") true
+            (Option.is_some (Json.member field j)))
+        [ "count"; "sum"; "mean"; "min"; "max"; "p50"; "p90"; "p99" ]
+  | None -> Alcotest.fail "histogram line missing");
+  match of_type "span" "t.jsonl.span" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "span line missing"
+
+(* ---------- instrumented Monte Carlo ---------- *)
+
+let test_mc_counted_determinism () =
+  let f (r : Rng.t) =
+    let x = Rng.float r in
+    if x < 0.3 then None else Some (x +. Rng.float r)
+  in
+  let serial = Montecarlo.run_counted ~samples:64 ~rng:(Rng.create 5) f in
+  let parallel =
+    Montecarlo.run_parallel_counted ~domains:4 ~samples:64 ~rng:(Rng.create 5) f
+  in
+  Alcotest.(check bool) "identical results" true
+    (serial.Montecarlo.results = parallel.Montecarlo.results);
+  Alcotest.(check int) "same attempted" serial.Montecarlo.attempted
+    parallel.Montecarlo.attempted;
+  Alcotest.(check int) "same failed" serial.Montecarlo.failed
+    parallel.Montecarlo.failed;
+  Alcotest.(check int) "attempted = samples" 64 serial.Montecarlo.attempted;
+  Alcotest.(check int) "accounting adds up" 64
+    (Array.length serial.Montecarlo.results + serial.Montecarlo.failed)
+
+let test_mc_feeds_counters () =
+  let attempted = Metrics.counter "mc.samples.attempted" in
+  let failed = Metrics.counter "mc.samples.failed" in
+  let a0 = Metrics.value attempted and f0 = Metrics.value failed in
+  let outcome =
+    Montecarlo.run_counted ~samples:50 ~rng:(Rng.create 1) (fun r ->
+        let x = Rng.float r in
+        if x < 0.5 then None else Some x)
+  in
+  Alcotest.(check int) "attempted counter delta" 50
+    (Metrics.value attempted - a0);
+  Alcotest.(check int) "failed counter delta" outcome.Montecarlo.failed
+    (Metrics.value failed - f0);
+  Alcotest.(check bool) "some failed in this stream" true
+    (outcome.Montecarlo.failed > 0)
+
+let suites =
+  [
+    ( "obs.span",
+      [
+        Alcotest.test_case "nesting" `Quick test_span_nesting;
+        Alcotest.test_case "exception safety" `Quick test_span_survives_exception;
+        Alcotest.test_case "domain merge" `Quick test_span_merges_domains;
+      ] );
+    ( "obs.histogram",
+      [
+        Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+        Alcotest.test_case "reservoir" `Quick test_histogram_reservoir;
+        Alcotest.test_case "empty" `Quick test_histogram_empty;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "concurrent counters" `Quick test_counter_concurrent;
+        Alcotest.test_case "shared handles" `Quick test_registry_shares_handles;
+      ] );
+    ( "obs.serialisation",
+      [
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "chrome trace" `Quick test_chrome_trace_roundtrip;
+        Alcotest.test_case "jsonl" `Quick test_jsonl_roundtrip;
+      ] );
+    ( "obs.montecarlo",
+      [
+        Alcotest.test_case "counted determinism" `Quick
+          test_mc_counted_determinism;
+        Alcotest.test_case "feeds counters" `Quick test_mc_feeds_counters;
+      ] );
+  ]
