@@ -657,6 +657,13 @@ let () =
     (Config.scale_name config);
   let ctx = Experiments.make_context ~log:(Printf.printf "%s\n%!") config in
   write_bench_json ctx ~path:"BENCH_flow.json";
+  (* CI uses this to produce the BENCH_flow.json artifact without paying for
+     the full experiment/ablation suite *)
+  (match Sys.getenv_opt "YIELDLAB_BENCH_FLOW_ONLY" with
+  | Some v when v <> "" && v <> "0" ->
+      print_string (Report.section "done (flow only)");
+      exit 0
+  | Some _ | None -> ());
   List.iter
     (fun (name, f) ->
       Printf.printf "%!";

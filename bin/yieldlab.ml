@@ -33,15 +33,17 @@ module Dcop = Yield_spice.Dcop
 module Netlist = Yield_spice.Netlist
 
 module Obs = Yield_obs.Obs
+module Fault = Yield_resilience.Fault
 
 open Cmdliner
 
-(* ---------- telemetry flags (shared by every subcommand) ---------- *)
+(* ---------- telemetry / resilience flags (shared by every subcommand) ---------- *)
 
 type obs_opts = {
   trace : string option;
   metrics : string option;
   verbose : bool;
+  fault_spec : string option;
 }
 
 let obs_term =
@@ -69,14 +71,41 @@ let obs_term =
       & info [ "v"; "verbose" ]
           ~doc:"print spans live to stderr and a metrics summary at exit")
   in
+  let fault_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "arm deterministic fault injection, e.g. \
+             'dcop.solve:rate=0.2,seed=42;tbl.write:at=1'.  Points: \
+             dcop.solve, dcop.newton, dcop.gmin, ac.solve, mc.sample, \
+             tbl.write, flow.wbga.generation, flow.mc.point.  Schedules: \
+             rate= (with optional seed=), count=, every=, at=")
+  in
   Term.(
-    const (fun trace metrics verbose -> { trace; metrics; verbose })
-    $ trace $ metrics $ verbose)
+    const (fun trace metrics verbose fault_spec ->
+        { trace; metrics; verbose; fault_spec })
+    $ trace $ metrics $ verbose $ fault_spec)
 
 (* run a subcommand under the telemetry options, flushing the sinks on the
    way out (also when the command raises) *)
 let with_obs opts run =
   Obs.set_verbose opts.verbose;
+  (match opts.fault_spec with
+  | None -> ()
+  | Some spec -> begin
+      match Fault.arm_spec spec with
+      | Ok () ->
+          List.iter
+            (fun (name, mode) ->
+              Printf.eprintf "yieldlab: fault armed: %s %s\n" name
+                (Fault.mode_to_string mode))
+            (Fault.armed ())
+      | Error msg ->
+          Printf.eprintf "yieldlab: bad --fault-spec: %s\n" msg;
+          exit 2
+    end);
   let flush () =
     (try Obs.flush ?trace:opts.trace ?metrics:opts.metrics ()
      with Sys_error msg ->
@@ -84,7 +113,13 @@ let with_obs opts run =
        exit 1);
     if opts.verbose then prerr_string (Obs.summary ())
   in
-  Fun.protect ~finally:flush run
+  Fun.protect ~finally:flush (fun () ->
+      try run ()
+      with Fault.Injected what ->
+        (* an armed crash point fired: behave like a kill, but exit cleanly
+           enough that the telemetry sinks above still flush *)
+        Printf.eprintf "yieldlab: simulated crash (fault injected): %s\n" what;
+        10)
 
 let obs_cmd info term = Cmd.v info Term.(const with_obs $ obs_term $ term)
 
@@ -232,7 +267,13 @@ let mc params samples seed min_gain min_pm =
   in
   let results = outcome.Montecarlo.results in
   if Array.length results = 0 then begin
-    Printf.eprintf "all %d samples failed\n" outcome.Montecarlo.attempted;
+    Printf.eprintf "%s\n"
+      (Montecarlo.yield_outcome_to_string
+         (Montecarlo.No_valid_samples
+            {
+              attempted = outcome.Montecarlo.attempted;
+              failed = outcome.Montecarlo.failed;
+            }));
     1
   end
   else begin
@@ -254,18 +295,15 @@ let mc params samples seed min_gain min_pm =
     (match (min_gain, min_pm) with
     | Some g, Some p ->
         let spec = { Yield_target.min_gain_db = g; min_pm_deg = p } in
-        let est =
-          Montecarlo.yield_of
+        let outcome_yield =
+          Montecarlo.yield_of_counted
             (fun r ->
               Yield_target.meets spec ~gain_db:r.Tb.gain_db
                 ~pm_deg:r.Tb.phase_margin_deg)
-            results
+            outcome
         in
-        Printf.printf "yield vs (gain>%.1f, pm>%.1f): %.1f %% (95%% CI %.1f-%.1f)\n"
-          g p
-          (100. *. est.Montecarlo.yield)
-          (100. *. est.Montecarlo.ci_low)
-          (100. *. est.Montecarlo.ci_high)
+        Printf.printf "yield vs (gain>%.1f, pm>%.1f): %s\n" g p
+          (Montecarlo.yield_outcome_to_string outcome_yield)
     | _ -> ());
     0
   end
@@ -346,11 +384,11 @@ let optimize_cmd =
 
 (* ---------- flow ---------- *)
 
-let flow fast topology out_dir =
+let flow fast topology out_dir checkpoint_dir resume =
   let config = if fast then Config.fast_scale else Config.paper_scale in
   let flow =
     match topology with
-    | `Ota -> Flow.run ~log:print_endline config
+    | `Ota -> Flow.run ~log:print_endline ?checkpoint_dir ~resume config
     | `Miller ->
         let module Miller_flow = Flow.Make (Yield_circuits.Miller) in
         let config =
@@ -363,7 +401,7 @@ let flow fast topology out_dir =
               };
           }
         in
-        Miller_flow.run ~log:print_endline config
+        Miller_flow.run ~log:print_endline ?checkpoint_dir ~resume config
   in
   let written = Flow.save_tables flow ~dir:out_dir in
   Printf.printf "front %d points, %d variation points\n"
@@ -391,9 +429,29 @@ let flow_cmd =
   let out_dir =
     Arg.(value & opt string "." & info [ "out-dir" ] ~docv:"DIR" ~doc:"where to write the model tables")
   in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "persist per-stage progress (WBGA generations, Monte Carlo \
+             points) under DIR; combine with $(b,--resume) to continue a \
+             killed run")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "continue from the state in $(b,--checkpoint) DIR; the resumed \
+             run is bit-identical to an uninterrupted one")
+  in
   obs_cmd
     (Cmd.info "flow" ~doc:"run the full model-generation flow (Figure 3)")
-    Term.(const (fun f t o () -> flow f t o) $ fast $ topology $ out_dir)
+    Term.(
+      const (fun f t o c r () -> flow f t o c r)
+      $ fast $ topology $ out_dir $ checkpoint_dir $ resume)
 
 (* ---------- design ---------- *)
 

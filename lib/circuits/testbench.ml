@@ -108,7 +108,7 @@ module Make (A : Amplifier.S) = struct
     (build_variant conditions params Differential, "out")
 
   let bode_of_circuit ?(conditions = default_conditions) circuit =
-    match Dcop.solve circuit with
+    match Dcop.solve_with_retry circuit with
     | Error _ -> None
     | Ok op ->
         Some (Ac.transfer_by_name circuit op ~out:"out" ~freqs:(freqs_of conditions))
@@ -144,7 +144,7 @@ module Make (A : Amplifier.S) = struct
     | Some b -> perf_of_bode conditions b
 
   let low_freq_gain_db conditions circuit =
-    match Dcop.solve circuit with
+    match Dcop.solve_with_retry circuit with
     | Error _ -> None
     | Ok op ->
         let freqs = [| conditions.f_lo |] in
@@ -167,7 +167,7 @@ module Make (A : Amplifier.S) = struct
 
   let input_referred_noise ?(conditions = default_conditions) ?flicker params =
     let circuit, _ = build ~conditions params in
-    match Dcop.solve circuit with
+    match Dcop.solve_with_retry circuit with
     | Error _ -> None
     | Ok op -> begin
         let freqs = freqs_of conditions in

@@ -42,6 +42,13 @@ let of_env () =
   | Some v when v <> "" && v <> "0" -> fast_scale
   | Some _ | None -> paper_scale
 
+let fingerprint t =
+  (* everything the checkpointed stages' determinism depends on; resuming
+     under a different fingerprint is refused *)
+  Printf.sprintf "v1;seed=%d;pop=%d;gens=%d;mc=%d;stride=%d;control=%s"
+    t.seed t.ga.Yield_ga.Ga.population_size t.ga.Yield_ga.Ga.generations
+    t.mc_samples t.front_stride t.control
+
 let scale_name t =
   if
     t.ga.Yield_ga.Ga.population_size = paper_scale.ga.Yield_ga.Ga.population_size

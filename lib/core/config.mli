@@ -25,3 +25,8 @@ val of_env : unit -> t
     [YIELDLAB_FAST] is set to a non-empty value other than ["0"]. *)
 
 val scale_name : t -> string
+
+val fingerprint : t -> string
+(** Identity of a checkpointed run (seed, GA/MC scale, control string):
+    {!Flow.run} refuses to resume a checkpoint directory recorded under a
+    different fingerprint. *)

@@ -10,6 +10,10 @@ module Macromodel = Yield_behavioural.Macromodel
 module Yield_target = Yield_behavioural.Yield_target
 module Metrics = Yield_obs.Metrics
 module Span = Yield_obs.Span
+module Json = Yield_obs.Json
+module Fault = Yield_resilience.Fault
+module Codec = Yield_resilience.Codec
+module Checkpoint = Yield_resilience.Checkpoint
 
 (* the flow's public accounting is derived from the metrics registry: the
    same counters every sink exports ("wbga.evaluations" is the one [Wbga]
@@ -19,6 +23,14 @@ let c_front_sims = Metrics.counter "flow.front_sims"
 let c_wbga_evaluations = Metrics.counter "wbga.evaluations"
 
 let c_mc_attempted = Metrics.counter "mc.samples.attempted"
+
+let c_degraded = Metrics.counter "flow.points.degraded"
+
+(* crash points for the checkpoint/resume tests: each fires just after the
+   corresponding stage persisted its state, simulating a kill there *)
+let fp_wbga_gen = Fault.point "flow.wbga.generation"
+
+let fp_mc_point = Fault.point "flow.mc.point"
 
 type counts = {
   optimisation_sims : int;
@@ -54,6 +66,7 @@ type verification = {
 let design_for_spec t spec = Yield_target.plan t.macromodel spec
 
 let save_tables t ~dir =
+  Yield_resilience.Atomic_io.mkdir_p dir;
   let perf_path = Filename.concat dir "perf_model.tbl" in
   let var_path = Filename.concat dir "variation_model.tbl" in
   Yield_table.Tbl_io.write ~path:perf_path (Perf_model.to_table t.perf_model);
@@ -72,11 +85,103 @@ let load_models ~dir ~control =
   in
   (perf, var)
 
+(* ---------- checkpoint codecs for the flow's stage payloads ---------- *)
+
+let perf_point_to_json (p : Perf_model.point) =
+  Json.Obj
+    [
+      ("gain_db", Codec.float_ p.Perf_model.gain_db);
+      ("pm_deg", Codec.float_ p.Perf_model.pm_deg);
+      ("params", Codec.float_array p.Perf_model.params);
+      ("rout", Codec.float_ p.Perf_model.rout);
+      ("unity_gain_hz", Codec.float_ p.Perf_model.unity_gain_hz);
+    ]
+
+let perf_point_of_json j =
+  {
+    Perf_model.gain_db = Codec.to_float (Codec.member "gain_db" j);
+    pm_deg = Codec.to_float (Codec.member "pm_deg" j);
+    params = Codec.to_float_array (Codec.member "params" j);
+    rout = Codec.to_float (Codec.member "rout" j);
+    unity_gain_hz = Codec.to_float (Codec.member "unity_gain_hz" j);
+  }
+
+let var_point_to_json (p : Var_model.point) =
+  Json.Obj
+    [
+      ("gain_db", Codec.float_ p.Var_model.gain_db);
+      ("pm_deg", Codec.float_ p.Var_model.pm_deg);
+      ("dgain_pct", Codec.float_ p.Var_model.dgain_pct);
+      ("dpm_pct", Codec.float_ p.Var_model.dpm_pct);
+      ("mc_samples", Codec.int_ p.Var_model.mc_samples);
+    ]
+
+let var_point_of_json j =
+  {
+    Var_model.gain_db = Codec.to_float (Codec.member "gain_db" j);
+    pm_deg = Codec.to_float (Codec.member "pm_deg" j);
+    dgain_pct = Codec.to_float (Codec.member "dgain_pct" j);
+    dpm_pct = Codec.to_float (Codec.member "dpm_pct" j);
+    mc_samples = Codec.to_int (Codec.member "mc_samples" j);
+  }
+
+type mc_state = {
+  next_i : int;  (** next front index the variation loop will visit *)
+  done_points : Var_model.point list;  (** chronological *)
+  mc_rng : Rng.state;
+}
+
+let mc_state_to_json s =
+  Json.Obj
+    [
+      ("next_i", Codec.int_ s.next_i);
+      ("points", Codec.list var_point_to_json s.done_points);
+      ("rng", Codec.rng_state s.mc_rng);
+    ]
+
+let mc_state_of_json j =
+  {
+    next_i = Codec.to_int (Codec.member "next_i" j);
+    done_points = Codec.to_list var_point_of_json (Codec.member "points" j);
+    mc_rng = Codec.to_rng_state (Codec.member "rng" j);
+  }
+
+(* a decode failure on any stage payload just means the stage is recomputed *)
+let decode_opt of_json j =
+  match of_json j with v -> Some v | exception Codec.Decode _ -> None
+
+let load_stage ckpt ~key decode =
+  match ckpt with
+  | None -> None
+  | Some c -> Option.bind (Checkpoint.load c ~key) decode
+
+let store_stage ckpt ~key to_json v =
+  match ckpt with
+  | None -> ()
+  | Some c -> Checkpoint.store c ~key (to_json v)
+
 module Make (A : Yield_circuits.Amplifier.S) = struct
   module T = Gtb.Make (A)
 
-  let run ?(log = nop) (config : Config.t) =
+  let run ?(log = nop) ?checkpoint_dir ?(resume = false) (config : Config.t) =
     let conditions = config.Config.conditions in
+    let ckpt =
+      match checkpoint_dir with
+      | None -> None
+      | Some dir ->
+          let c = Checkpoint.create ~dir in
+          (match Checkpoint.check_fingerprint c (Config.fingerprint config) with
+          | Ok `Fresh -> ()
+          | Ok `Resumable when resume -> log ("flow: resuming from " ^ dir)
+          | Ok `Resumable ->
+              (* same configuration but a fresh run was asked for: drop the
+                 stale stage state *)
+              List.iter
+                (fun key -> Checkpoint.remove c ~key)
+                [ "wbga.state"; "wbga.result"; "front"; "mc.state" ]
+          | Error msg -> failwith ("Flow.run: " ^ msg));
+          Some c
+    in
     (* counter baselines: the per-run counts are registry deltas *)
     let evaluations0 = Metrics.value c_wbga_evaluations in
     let front_sims0 = Metrics.value c_front_sims in
@@ -98,13 +203,44 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
            config.Config.ga.Yield_ga.Ga.generations);
       let wbga, wbga_s =
         Span.timed ~name:"flow.wbga" (fun () ->
-            Wbga.run ~config:config.Config.ga ~param_ranges:A.param_ranges
-              ~objectives:
-                [|
-                  { Wbga.name = "gain"; maximise = true };
-                  { Wbga.name = "pm"; maximise = true };
-                |]
-              ~rng ~evaluate ())
+            match
+              load_stage ckpt ~key:"wbga.result" (fun j ->
+                  Result.to_option (Wbga.result_of_json j))
+            with
+            | Some r ->
+                log "flow: WBGA stage restored from checkpoint";
+                r
+            | None ->
+                let wbga_resume =
+                  load_stage ckpt ~key:"wbga.state" (fun j ->
+                      Result.to_option (Wbga.snapshot_of_json j))
+                in
+                (match wbga_resume with
+                | Some s ->
+                    log
+                      (Printf.sprintf "flow: WBGA resuming at generation %d"
+                         s.Wbga.ga.Yield_ga.Ga.next_generation)
+                | None -> ());
+                let on_generation =
+                  Option.map
+                    (fun c s ->
+                      Checkpoint.store c ~key:"wbga.state"
+                        (Wbga.snapshot_to_json s);
+                      Fault.raise_if fp_wbga_gen)
+                    ckpt
+                in
+                let r =
+                  Wbga.run ~config:config.Config.ga ?checkpoint:on_generation
+                    ?resume:wbga_resume ~param_ranges:A.param_ranges
+                    ~objectives:
+                      [|
+                        { Wbga.name = "gain"; maximise = true };
+                        { Wbga.name = "pm"; maximise = true };
+                      |]
+                    ~rng ~evaluate ()
+                in
+                store_stage ckpt ~key:"wbga.result" Wbga.result_to_json r;
+                r)
       in
       optimisation_s := wbga_s;
       log
@@ -117,23 +253,38 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
          for the auxiliary columns (rout, fu) --- *)
       let front_points =
         Span.with_ ~name:"flow.front-resim" (fun () ->
-            Array.to_list wbga.Wbga.front
-            |> List.filter_map (fun (e : Wbga.entry) ->
-                   Metrics.incr c_front_sims;
-                   match
-                     T.evaluate ~conditions (A.params_of_array e.Wbga.params)
-                   with
-                   | Some perf ->
-                       Some
-                         {
-                           Perf_model.gain_db = perf.Gtb.gain_db;
-                           pm_deg = perf.Gtb.phase_margin_deg;
-                           params = e.Wbga.params;
-                           rout = perf.Gtb.rout_est;
-                           unity_gain_hz = perf.Gtb.unity_gain_hz;
-                         }
-                   | None -> None)
-            |> Array.of_list)
+            match
+              load_stage ckpt ~key:"front"
+                (decode_opt (Codec.to_array perf_point_of_json))
+            with
+            | Some points ->
+                log "flow: front re-simulation restored from checkpoint";
+                points
+            | None ->
+                let points =
+                  Array.to_list wbga.Wbga.front
+                  |> List.filter_map (fun (e : Wbga.entry) ->
+                         Metrics.incr c_front_sims;
+                         match
+                           T.evaluate ~conditions
+                             (A.params_of_array e.Wbga.params)
+                         with
+                         | Some perf ->
+                             Some
+                               {
+                                 Perf_model.gain_db = perf.Gtb.gain_db;
+                                 pm_deg = perf.Gtb.phase_margin_deg;
+                                 params = e.Wbga.params;
+                                 rout = perf.Gtb.rout_est;
+                                 unity_gain_hz = perf.Gtb.unity_gain_hz;
+                               }
+                         | None -> None)
+                  |> Array.of_list
+                in
+                store_stage ckpt ~key:"front"
+                  (Codec.array perf_point_to_json)
+                  points;
+                points)
       in
       (* --- step 4: variation model: Monte Carlo on (a stride of) the
          front --- *)
@@ -141,48 +292,87 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
         Span.timed ~name:"flow.mc" (fun () ->
             let stride = Stdlib.max 1 config.Config.front_stride in
             let mc_rng = Rng.create (config.Config.seed + 1) in
-            let var_points = ref [] in
-            Array.iteri
-              (fun i (p : Perf_model.point) ->
-                if i mod stride = 0 then begin
-                  let params = A.params_of_array p.Perf_model.params in
-                  let outcome =
-                    Montecarlo.run_parallel_counted
-                      ~samples:config.Config.mc_samples ~rng:mc_rng
-                      (fun sample_rng ->
-                        T.evaluate_sampled ~conditions
-                          ~spec:config.Config.variation ~rng:sample_rng params)
+            let start_i, var_points =
+              match load_stage ckpt ~key:"mc.state" (decode_opt mc_state_of_json) with
+              | Some s ->
+                  log
+                    (Printf.sprintf
+                       "flow: variation model resuming at front point %d/%d"
+                       s.next_i
+                       (Array.length front_points));
+                  Rng.restore mc_rng s.mc_rng;
+                  (s.next_i, ref (List.rev s.done_points))
+              | None -> (0, ref [])
+            in
+            for i = start_i to Array.length front_points - 1 do
+              if i mod stride = 0 then begin
+                let p = front_points.(i) in
+                let params = A.params_of_array p.Perf_model.params in
+                let outcome =
+                  Montecarlo.run_parallel_counted
+                    ~samples:config.Config.mc_samples ~rng:mc_rng
+                    (fun sample_rng ->
+                      T.evaluate_sampled ~conditions
+                        ~spec:config.Config.variation ~rng:sample_rng params)
+                in
+                let results = outcome.Montecarlo.results in
+                if Array.length results >= 8 then begin
+                  let gains = Array.map (fun r -> r.Gtb.gain_db) results in
+                  let pms =
+                    Array.map (fun r -> r.Gtb.phase_margin_deg) results
                   in
-                  let results = outcome.Montecarlo.results in
-                  if Array.length results >= 8 then begin
-                    let gains = Array.map (fun r -> r.Gtb.gain_db) results in
-                    let pms =
-                      Array.map (fun r -> r.Gtb.phase_margin_deg) results
-                    in
-                    let dgain =
-                      Montecarlo.spread_pct gains ~nominal:p.Perf_model.gain_db
-                    in
-                    let dpm =
-                      Montecarlo.spread_pct pms ~nominal:p.Perf_model.pm_deg
-                    in
-                    var_points :=
-                      {
-                        Var_model.gain_db = p.Perf_model.gain_db;
-                        pm_deg = p.Perf_model.pm_deg;
-                        dgain_pct = dgain;
-                        dpm_pct = dpm;
-                        mc_samples = Array.length results;
-                      }
-                      :: !var_points
-                  end
-                end)
-              front_points;
+                  let dgain =
+                    Montecarlo.spread_pct gains ~nominal:p.Perf_model.gain_db
+                  in
+                  let dpm =
+                    Montecarlo.spread_pct pms ~nominal:p.Perf_model.pm_deg
+                  in
+                  var_points :=
+                    {
+                      Var_model.gain_db = p.Perf_model.gain_db;
+                      pm_deg = p.Perf_model.pm_deg;
+                      dgain_pct = dgain;
+                      dpm_pct = dpm;
+                      mc_samples = Array.length results;
+                    }
+                    :: !var_points
+                end
+                else begin
+                  (* too few valid samples to estimate a spread: drop the
+                     point and keep going rather than poisoning the model
+                     or crashing the flow *)
+                  Metrics.incr c_degraded;
+                  log
+                    (Printf.sprintf
+                       "flow: degraded front point %d (gain %.1f dB): %d/%d \
+                        MC samples failed, %d valid — variation point skipped"
+                       i p.Perf_model.gain_db outcome.Montecarlo.failed
+                       outcome.Montecarlo.attempted (Array.length results))
+                end;
+                store_stage ckpt ~key:"mc.state" mc_state_to_json
+                  {
+                    next_i = i + 1;
+                    done_points = List.rev !var_points;
+                    mc_rng = Rng.save mc_rng;
+                  };
+                Fault.raise_if fp_mc_point
+              end
+            done;
             Array.of_list (List.rev !var_points))
       in
       mc_s := var_mc_s;
       log
         (Printf.sprintf "flow: variation model from %d points x %d MC samples"
            (Array.length var_points) config.Config.mc_samples);
+      if Array.length var_points < 2 then
+        failwith
+          (Printf.sprintf
+             "Flow.run: variation model starved — only %d of %d analysed \
+              front points kept enough valid MC samples (see the \
+              flow.points.degraded counter)"
+             (Array.length var_points)
+             (1 + ((Array.length front_points - 1)
+                   / Stdlib.max 1 config.Config.front_stride)));
       (* --- step 5: table models --- *)
       let perf_model, var_model, macromodel =
         Span.with_ ~name:"flow.tables" (fun () ->

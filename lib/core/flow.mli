@@ -38,9 +38,28 @@ type t = {
   timings : timings;
 }
 
-val run : ?log:(string -> unit) -> Config.t -> t
+val run :
+  ?log:(string -> unit) -> ?checkpoint_dir:string -> ?resume:bool ->
+  Config.t -> t
 (** The paper's flow on its benchmark circuit (the symmetrical OTA).
-    @raise Failure when the optimisation produces no usable front. *)
+
+    With [checkpoint_dir], every stage persists its progress there
+    ({!Yield_resilience.Checkpoint}): the WBGA state per generation
+    ([wbga.state]), the finished optimisation ([wbga.result]), the
+    re-simulated front ([front]) and the per-Pareto-point Monte Carlo
+    progress ([mc.state]).  With [resume] (default [false]) the run
+    continues from whatever those keys hold — bit-identically to an
+    uninterrupted run, because the checkpoints carry the RNG stream states
+    and hex-exact floats.  Without [resume], stale stage state under the
+    same directory is discarded.  A directory recorded under a different
+    {!Config.fingerprint} is refused.
+
+    A front point whose Monte Carlo batch yields fewer than 8 valid samples
+    is skipped (logged, counted in ["flow.points.degraded"]) instead of
+    crashing the flow or poisoning the variation model.
+
+    @raise Failure when the optimisation produces no usable front, or on a
+    checkpoint fingerprint mismatch. *)
 
 val design_for_spec :
   t -> Yield_behavioural.Yield_target.spec ->
@@ -72,7 +91,9 @@ val load_models :
     adapted to the topology (e.g. the Miller stage wants a lower
     [min_unity_gain_hz]). *)
 module Make (A : Yield_circuits.Amplifier.S) : sig
-  val run : ?log:(string -> unit) -> Config.t -> t
+  val run :
+    ?log:(string -> unit) -> ?checkpoint_dir:string -> ?resume:bool ->
+    Config.t -> t
 
   val verify_design :
     t -> ?samples:int -> ?seed:int -> spec:Yield_behavioural.Yield_target.spec ->

@@ -42,3 +42,17 @@ let weighted_sum t ~weights objectives =
     Array.iteri (fun j w -> acc := !acc +. (w *. normed.(j))) weights;
     !acc
   end
+
+(* serialisable snapshot for checkpoint/resume; defined last so its fields
+   do not shadow [normalizer]'s in the functions above *)
+type state = { mins : float array; maxs : float array; seen : int }
+
+let save (t : normalizer) : state =
+  { mins = Array.copy t.mins; maxs = Array.copy t.maxs; seen = t.seen }
+
+let restore (t : normalizer) (s : state) =
+  if Array.length s.mins <> Array.length t.mins then
+    invalid_arg "Fitness.restore: objective count mismatch";
+  Array.blit s.mins 0 t.mins 0 (Array.length t.mins);
+  Array.blit s.maxs 0 t.maxs 0 (Array.length t.maxs);
+  t.seen <- s.seen

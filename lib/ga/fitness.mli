@@ -16,6 +16,16 @@ val observed : normalizer -> int
 
 val bounds : normalizer -> (float * float) array
 
+type state = { mins : float array; maxs : float array; seen : int }
+(** Serialisable snapshot of the normalisation bounds, for WBGA
+    checkpoint/resume: the bounds are folded over every evaluation seen, so
+    a resumed run must restore them to score identically. *)
+
+val save : normalizer -> state
+
+val restore : normalizer -> state -> unit
+(** @raise Invalid_argument on objective-count mismatch. *)
+
 val normalise : normalizer -> float array -> float array
 (** [(f_j - min_j) / (max_j - min_j)] per objective; an objective whose
     bounds are still degenerate normalises to 0.5. *)

@@ -31,13 +31,42 @@ type 'a result = {
   evaluations : int;
 }
 
-let run config encoding rng ~score =
+type 'a snapshot = {
+  next_generation : int;
+  population : Genome.t array;
+  archive_rev : 'a evaluated list;
+  snap_best : 'a evaluated option;
+  snap_history : float array;
+  snap_evaluations : int;
+  rng_state : Rng.state;
+}
+
+let run ?on_generation ?resume config encoding rng ~score =
   if config.population_size <= 0 then invalid_arg "Ga.run: empty population";
   if config.generations <= 0 then invalid_arg "Ga.run: no generations";
   let pop_size = config.population_size in
-  let archive = ref [] in
-  let evaluations = ref 0 in
-  let history = Array.make config.generations neg_infinity in
+  let archive, evaluations, history, resumed_best, start_population, start_gen =
+    match resume with
+    | Some s ->
+        if Array.length s.snap_history <> config.generations then
+          invalid_arg "Ga.run: resume snapshot from a different generation count";
+        if Array.length s.population <> pop_size then
+          invalid_arg "Ga.run: resume snapshot from a different population size";
+        Rng.restore rng s.rng_state;
+        ( ref s.archive_rev,
+          ref s.snap_evaluations,
+          Array.copy s.snap_history,
+          s.snap_best,
+          s.population,
+          s.next_generation )
+    | None ->
+        ( ref [],
+          ref 0,
+          Array.make config.generations neg_infinity,
+          None,
+          [||],
+          0 )
+  in
   let evaluate population =
     let scored = score population in
     if Array.length scored <> Array.length population then
@@ -83,9 +112,13 @@ let run config encoding rng ~score =
     done;
     Array.of_list (List.rev !children)
   in
-  let population = ref (Array.init pop_size (fun _ -> Genome.random encoding rng)) in
-  let best = ref None in
-  for gen = 0 to config.generations - 1 do
+  let population =
+    ref
+      (if start_gen > 0 then start_population
+       else Array.init pop_size (fun _ -> Genome.random encoding rng))
+  in
+  let best = ref resumed_best in
+  for gen = start_gen to config.generations - 1 do
     Span.with_ ~name:"ga.generation" (fun () ->
         let evaluated = evaluate !population in
         Array.iter
@@ -97,7 +130,20 @@ let run config encoding rng ~score =
         history.(gen) <-
           (match !best with Some b -> b.fitness | None -> neg_infinity);
         if gen < config.generations - 1 then
-          population := next_generation evaluated)
+          population := next_generation evaluated;
+        match on_generation with
+        | None -> ()
+        | Some hook ->
+            hook
+              {
+                next_generation = gen + 1;
+                population = !population;
+                archive_rev = !archive;
+                snap_best = !best;
+                snap_history = Array.copy history;
+                snap_evaluations = !evaluations;
+                rng_state = Rng.save rng;
+              })
   done;
   let best =
     match !best with

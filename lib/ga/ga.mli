@@ -29,9 +29,30 @@ type 'a result = {
   evaluations : int;
 }
 
+type 'a snapshot = {
+  next_generation : int;  (** first generation still to run *)
+  population : Genome.t array;
+      (** population that generation will evaluate (treat as read-only) *)
+  archive_rev : 'a evaluated list;  (** accumulated archive, newest first *)
+  snap_best : 'a evaluated option;
+  snap_history : float array;  (** filled up to [next_generation - 1] *)
+  snap_evaluations : int;
+  rng_state : Yield_stats.Rng.state;
+      (** generator state at the boundary — restoring it makes the resumed
+          run bit-identical to an uninterrupted one *)
+}
+(** Everything needed to continue the loop from a generation boundary. *)
+
 val run :
+  ?on_generation:('a snapshot -> unit) ->
+  ?resume:'a snapshot ->
   config -> Genome.encoding -> Yield_stats.Rng.t ->
   score:(Genome.t array -> ('a * float) array) ->
   'a result
-(** @raise Invalid_argument for non-positive population/generations or if
-    [score] returns the wrong number of results. *)
+(** [on_generation] is called after every completed generation with a
+    snapshot that resumes from the next one; [resume] restarts from such a
+    snapshot (the passed [rng] is overwritten with the saved state, and the
+    result's [evaluations]/[history] count the whole logical run).
+    @raise Invalid_argument for non-positive population/generations, if
+    [score] returns the wrong number of results, or if [resume] disagrees
+    with [config] on population size or generation count. *)

@@ -25,8 +25,19 @@ type result = {
   history : float array;  (** best fitness per generation *)
 }
 
+type snapshot = {
+  ga : entry option Ga.snapshot;
+  snap_failures : int;
+  normalizer : Fitness.state;
+}
+(** Generation-boundary state: the GA loop state plus the WBGA-level
+    failure count and fitness-normalisation bounds.  Restoring all three
+    makes a resumed run bit-identical to an uninterrupted one. *)
+
 val run :
   ?config:Ga.config ->
+  ?checkpoint:(snapshot -> unit) ->
+  ?resume:snapshot ->
   param_ranges:Genome.range array ->
   objectives:objective array ->
   rng:Yield_stats.Rng.t ->
@@ -35,4 +46,22 @@ val run :
   result
 (** [evaluate params] returns the raw objective values, or [None] when the
     underlying simulation fails; failed individuals receive [neg_infinity]
-    fitness and are excluded from the archive and front. *)
+    fitness and are excluded from the archive and front.
+
+    [checkpoint] is invoked after every completed generation; [resume]
+    restarts from such a snapshot.  A resumed run only adds the evaluations
+    it actually performs to the [wbga.evaluations] metric, while the
+    returned [result.evaluations] counts the whole logical run. *)
+
+(** {2 Checkpoint serialisation}
+
+    Bit-exact JSON codecs (floats as [%h] hex literals via
+    {!Yield_resilience.Codec}). *)
+
+val snapshot_to_json : snapshot -> Yield_obs.Json.t
+
+val snapshot_of_json : Yield_obs.Json.t -> (snapshot, string) Stdlib.result
+
+val result_to_json : result -> Yield_obs.Json.t
+
+val result_of_json : Yield_obs.Json.t -> (result, string) Stdlib.result

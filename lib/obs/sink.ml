@@ -91,8 +91,19 @@ let text_of ?(spans = []) (snap : Metrics.snapshot) =
   end;
   Buffer.contents b
 
+(* atomic (temp + rename), open-coded: [Yield_resilience.Atomic_io] is the
+   shared implementation but depends on this library, so the sink cannot
+   use it without a cycle *)
 let write_file ~path s =
-  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc s)
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  (match
+     Out_channel.with_open_text tmp (fun oc -> Out_channel.output_string oc s)
+   with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
 
 let write_chrome_trace ~path () =
   write_file ~path (Json.to_string (chrome_trace_of_events (Span.events ())))

@@ -2,6 +2,7 @@ module Rng = Yield_stats.Rng
 module Summary = Yield_stats.Summary
 module Metrics = Yield_obs.Metrics
 module Span = Yield_obs.Span
+module Fault = Yield_resilience.Fault
 
 type 'a counted = { results : 'a array; attempted : int; failed : int }
 
@@ -9,17 +10,26 @@ let c_attempted = Metrics.counter "mc.samples.attempted"
 
 let c_failed = Metrics.counter "mc.samples.failed"
 
+(* [mc.sample] fault: the sample is lost (as if the simulation under it had
+   failed).  Each batch reserves a block of hit indices up front and decides
+   per global sample index, so the serial and parallel paths — and any
+   domain interleaving — inject on exactly the same samples. *)
+let fp_sample = Fault.point "mc.sample"
+
 let record ~attempted ~failed =
   Metrics.add c_attempted attempted;
   Metrics.add c_failed failed
 
 let run_counted ~samples ~rng f =
   Span.with_ ~name:"mc.batch" (fun () ->
+      let base = Fault.advance fp_sample ~by:samples in
       let results = ref [] in
       let failed = ref 0 in
-      for _ = 1 to samples do
+      for i = 0 to samples - 1 do
+        (* always split the child stream, even for an injected sample, so
+           injection never shifts the streams of the samples after it *)
         let child = Rng.split rng in
-        match f child with
+        match if Fault.fire_at fp_sample ~index:(base + i) then None else f child with
         | Some r -> results := r :: !results
         | None -> incr failed
       done;
@@ -43,6 +53,7 @@ let run_parallel_counted ?domains ~samples ~rng f =
     Span.with_ ~name:"mc.batch" (fun () ->
         (* split all child streams sequentially first, so the sample streams
            are identical to the serial path *)
+        let base = Fault.advance fp_sample ~by:samples in
         let children = Array.init samples (fun _ -> Rng.split rng) in
         let slots = Array.make samples None in
         let next = Atomic.make 0 in
@@ -53,7 +64,9 @@ let run_parallel_counted ?domains ~samples ~rng f =
               let rec loop () =
                 let i = Atomic.fetch_and_add next 1 in
                 if i < samples then begin
-                  slots.(i) <- f children.(i);
+                  slots.(i) <-
+                    (if Fault.fire_at fp_sample ~index:(base + i) then None
+                     else f children.(i));
                   loop ()
                 end
               in
@@ -110,6 +123,23 @@ let estimate_yield ~pass ~total =
 let yield_of ok results =
   let pass = Array.fold_left (fun acc r -> if ok r then acc + 1 else acc) 0 results in
   estimate_yield ~pass ~total:(Array.length results)
+
+type yield_outcome =
+  | Estimate of yield_estimate
+  | No_valid_samples of { attempted : int; failed : int }
+
+let yield_of_counted ok counted =
+  if Array.length counted.results = 0 then
+    No_valid_samples { attempted = counted.attempted; failed = counted.failed }
+  else Estimate (yield_of ok counted.results)
+
+let yield_outcome_to_string = function
+  | Estimate e ->
+      Printf.sprintf "%.1f %% (%d/%d, 95 %% CI %.1f–%.1f %%)" (100. *. e.yield)
+        e.pass e.total (100. *. e.ci_low) (100. *. e.ci_high)
+  | No_valid_samples { attempted; failed } ->
+      Printf.sprintf "yield unknown (0 valid samples, %d/%d failed)" failed
+        attempted
 
 let spread_pct xs ~nominal =
   if Array.length xs = 0 then invalid_arg "Montecarlo.spread_pct: empty sample";

@@ -54,6 +54,19 @@ val estimate_yield : pass:int -> total:int -> yield_estimate
 (** @raise Invalid_argument when [total = 0] or [pass] outside [0, total]. *)
 
 val yield_of : ('a -> bool) -> 'a array -> yield_estimate
+(** @raise Invalid_argument on an empty result array — prefer
+    {!yield_of_counted}, which degrades instead of raising. *)
+
+type yield_outcome =
+  | Estimate of yield_estimate
+  | No_valid_samples of { attempted : int; failed : int }
+      (** every sample failed: there is no denominator, so the flow reports
+          the yield as unknown instead of crashing *)
+
+val yield_of_counted : ('a -> bool) -> 'a counted -> yield_outcome
+(** Total-failure-safe yield estimate over a counted batch. *)
+
+val yield_outcome_to_string : yield_outcome -> string
 
 val spread_pct : float array -> nominal:float -> float
 (** The paper's variation measure: the larger one-sided deviation of the

@@ -1,0 +1,24 @@
+let temp_path path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let write_file ~path contents =
+  let tmp = temp_path path in
+  (try
+     Out_channel.with_open_bin tmp (fun oc ->
+         Out_channel.output_string oc contents)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let read_file ~path =
+  In_channel.with_open_bin path (fun ic ->
+      really_input_string ic (in_channel_length ic))
+
+let mkdir_p dir =
+  let rec walk d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      walk (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  walk dir

@@ -1,0 +1,20 @@
+(** Crash-safe file writes.
+
+    [write_file] writes the full contents to a process-unique temporary
+    sibling and renames it over the target, so a crash (or an injected
+    fault) at any instant leaves either the old file or the new one on
+    disk — never a torn mixture.  Every persistent artefact of the flow
+    ([.tbl] tables, checkpoints, telemetry sinks) goes through this
+    pattern. *)
+
+val write_file : path:string -> string -> unit
+(** Atomic whole-file write (temp + rename).  On failure the temporary is
+    removed and the target is untouched. *)
+
+val read_file : path:string -> string
+
+val mkdir_p : string -> unit
+(** Create the directory and any missing parents. *)
+
+val temp_path : string -> string
+(** The temporary sibling name [write_file] uses (exposed for tests). *)

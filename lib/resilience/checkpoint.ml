@@ -1,0 +1,71 @@
+module Json = Yield_obs.Json
+module Metrics = Yield_obs.Metrics
+
+let c_writes = Metrics.counter "checkpoint.writes"
+
+let c_corrupt = Metrics.counter "checkpoint.corrupt"
+
+type t = { dir : string }
+
+let create ~dir =
+  Atomic_io.mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+let valid_key key =
+  key <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> true
+         | _ -> false)
+       key
+
+let path t ~key =
+  if not (valid_key key) then invalid_arg "Checkpoint: bad key";
+  Filename.concat t.dir (key ^ ".ckpt.json")
+
+let store t ~key json =
+  Atomic_io.write_file ~path:(path t ~key) (Json.to_string json ^ "\n");
+  Metrics.incr c_writes
+
+let load t ~key =
+  let path = path t ~key in
+  if not (Sys.file_exists path) then None
+  else begin
+    match Json.parse (String.trim (Atomic_io.read_file ~path)) with
+    | json -> Some json
+    | exception (Json.Parse_error _ | Sys_error _) ->
+        (* a corrupt checkpoint degrades to "recompute that stage"; the
+           atomic writes make this unreachable short of external damage *)
+        Metrics.incr c_corrupt;
+        None
+  end
+
+let remove t ~key =
+  let path = path t ~key in
+  if Sys.file_exists path then Sys.remove path
+
+(* ---------- run fingerprint ---------- *)
+
+let store_fingerprint t fp =
+  store t ~key:"meta"
+    (Json.Obj [ ("version", Json.Int 1); ("fingerprint", Json.String fp) ])
+
+let check_fingerprint t fp =
+  match load t ~key:"meta" with
+  | None ->
+      store_fingerprint t fp;
+      Ok `Fresh
+  | Some json -> begin
+      match Json.member "fingerprint" json with
+      | Some (Json.String existing) when existing = fp -> Ok `Resumable
+      | Some (Json.String existing) ->
+          Error
+            (Printf.sprintf
+               "checkpoint %s was written by a different run configuration \
+                (%s, this run is %s)"
+               t.dir existing fp)
+      | _ -> Error (Printf.sprintf "checkpoint %s: malformed meta" t.dir)
+    end

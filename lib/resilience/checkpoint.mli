@@ -1,0 +1,36 @@
+(** The flow's checkpoint store: a run directory of keyed JSON blobs.
+
+    Each stage of the flow persists its progress under a key ([wbga.state]
+    per generation, [wbga.result] and [front] at stage boundaries,
+    [mc.state] per Monte Carlo batch).  All writes are atomic
+    ({!Atomic_io}), so a kill at any instant leaves the directory in the
+    last consistent state; payloads use the bit-exact {!Codec}, so a
+    resumed run continues the RNG streams and float state identically to
+    an uninterrupted one.
+
+    Feeds the [checkpoint.writes] and [checkpoint.corrupt] counters of
+    {!Yield_obs.Metrics}. *)
+
+type t
+
+val create : dir:string -> t
+(** Open (creating if needed) the run directory. *)
+
+val dir : t -> string
+
+val store : t -> key:string -> Yield_obs.Json.t -> unit
+(** Atomically (over)write [<dir>/<key>.ckpt.json].
+    @raise Invalid_argument on keys with characters outside
+    [[A-Za-z0-9._-]]. *)
+
+val load : t -> key:string -> Yield_obs.Json.t option
+(** [None] when the key is absent {e or} unreadable/corrupt (the stage is
+    then recomputed; the [checkpoint.corrupt] counter records it). *)
+
+val remove : t -> key:string -> unit
+
+val check_fingerprint : t -> string -> ([ `Fresh | `Resumable ], string) result
+(** Guard against resuming with a different configuration: on a fresh
+    directory, record [fp] and return [`Fresh]; on a directory holding the
+    same fingerprint return [`Resumable]; otherwise return a descriptive
+    error. *)

@@ -1,0 +1,76 @@
+module Json = Yield_obs.Json
+module Rng = Yield_stats.Rng
+
+exception Decode of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode s)) fmt
+
+(* floats are stored as hexadecimal literals ("%h"): exact bit round-trip,
+   which the resume-determinism guarantee depends on *)
+let float_ f = Json.String (Printf.sprintf "%h" f)
+
+let to_float = function
+  | Json.String s -> begin
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> fail "bad float literal %S" s
+    end
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> fail "expected a float"
+
+let int_ i = Json.Int i
+
+let to_int = function Json.Int i -> i | _ -> fail "expected an int"
+
+let int64_ i = Json.String (Int64.to_string i)
+
+let to_int64 = function
+  | Json.String s -> begin
+      match Int64.of_string_opt s with
+      | Some i -> i
+      | None -> fail "bad int64 literal %S" s
+    end
+  | _ -> fail "expected an int64 string"
+
+let list f xs = Json.List (List.map f xs)
+
+let to_list f = function
+  | Json.List xs -> List.map f xs
+  | _ -> fail "expected a list"
+
+let array f xs = Json.List (Array.to_list (Array.map f xs))
+
+let to_array f j = Array.of_list (to_list f j)
+
+let float_array = array float_
+
+let to_float_array = to_array to_float
+
+let option f = function None -> Json.Null | Some v -> f v
+
+let to_option f = function Json.Null -> None | j -> Some (f j)
+
+let member key j =
+  match Json.member key j with
+  | Some v -> v
+  | None -> fail "missing member %S" key
+
+let rng_state (s : Rng.state) =
+  Json.Obj
+    [
+      ("s0", int64_ s.Rng.s0);
+      ("s1", int64_ s.Rng.s1);
+      ("s2", int64_ s.Rng.s2);
+      ("s3", int64_ s.Rng.s3);
+      ("cached", option float_ s.Rng.cached_gaussian);
+    ]
+
+let to_rng_state j =
+  {
+    Rng.s0 = to_int64 (member "s0" j);
+    s1 = to_int64 (member "s1" j);
+    s2 = to_int64 (member "s2" j);
+    s3 = to_int64 (member "s3" j);
+    cached_gaussian = to_option to_float (member "cached" j);
+  }

@@ -1,0 +1,43 @@
+(** JSON codecs for checkpoint payloads.
+
+    Floats are serialised as hexadecimal literals ([%h]) and 64-bit RNG
+    words as decimal strings, so every value round-trips bit-exactly —
+    the foundation of the resume-determinism guarantee. *)
+
+exception Decode of string
+(** Raised by every [to_*] on a shape or literal mismatch. *)
+
+val float_ : float -> Yield_obs.Json.t
+
+val to_float : Yield_obs.Json.t -> float
+
+val int_ : int -> Yield_obs.Json.t
+
+val to_int : Yield_obs.Json.t -> int
+
+val int64_ : int64 -> Yield_obs.Json.t
+
+val to_int64 : Yield_obs.Json.t -> int64
+
+val list : ('a -> Yield_obs.Json.t) -> 'a list -> Yield_obs.Json.t
+
+val to_list : (Yield_obs.Json.t -> 'a) -> Yield_obs.Json.t -> 'a list
+
+val array : ('a -> Yield_obs.Json.t) -> 'a array -> Yield_obs.Json.t
+
+val to_array : (Yield_obs.Json.t -> 'a) -> Yield_obs.Json.t -> 'a array
+
+val float_array : float array -> Yield_obs.Json.t
+
+val to_float_array : Yield_obs.Json.t -> float array
+
+val option : ('a -> Yield_obs.Json.t) -> 'a option -> Yield_obs.Json.t
+
+val to_option : (Yield_obs.Json.t -> 'a) -> Yield_obs.Json.t -> 'a option
+
+val member : string -> Yield_obs.Json.t -> Yield_obs.Json.t
+(** @raise Decode when the member is absent. *)
+
+val rng_state : Yield_stats.Rng.state -> Yield_obs.Json.t
+
+val to_rng_state : Yield_obs.Json.t -> Yield_stats.Rng.state

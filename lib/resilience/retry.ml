@@ -1,0 +1,57 @@
+module Metrics = Yield_obs.Metrics
+
+type classification = Transient | Permanent
+
+type policy = {
+  name : string;
+  max_attempts : int;
+  h_attempts : Yield_obs.Histogram.t;
+  c_retries : Metrics.counter;
+  c_recovered : Metrics.counter;
+  c_exhausted : Metrics.counter;
+  c_permanent : Metrics.counter;
+}
+
+let policy ?(max_attempts = 3) name =
+  if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts < 1";
+  {
+    name;
+    max_attempts;
+    h_attempts = Metrics.histogram ("retry." ^ name ^ ".attempts");
+    c_retries = Metrics.counter ("retry." ^ name ^ ".retries");
+    c_recovered = Metrics.counter ("retry." ^ name ^ ".recovered");
+    c_exhausted = Metrics.counter ("retry." ^ name ^ ".exhausted");
+    c_permanent = Metrics.counter ("retry." ^ name ^ ".permanent");
+  }
+
+let name p = p.name
+
+let max_attempts p = p.max_attempts
+
+let with_retries p ~classify f =
+  let finish attempts outcome =
+    Metrics.observe p.h_attempts (float_of_int attempts);
+    outcome
+  in
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok ->
+        if attempt > 1 then Metrics.incr p.c_recovered;
+        finish attempt ok
+    | Error e as err -> begin
+        match classify e with
+        | Permanent ->
+            Metrics.incr p.c_permanent;
+            finish attempt err
+        | Transient ->
+            if attempt < p.max_attempts then begin
+              Metrics.incr p.c_retries;
+              go (attempt + 1)
+            end
+            else begin
+              Metrics.incr p.c_exhausted;
+              finish attempt err
+            end
+      end
+  in
+  go 1

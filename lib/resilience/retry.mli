@@ -1,0 +1,37 @@
+(** Bounded retries with failure classification.
+
+    A policy names the operation and bounds its attempts; {!with_retries}
+    re-runs the operation on {e transient} failures (the attempt number is
+    passed so the caller can perturb, e.g. jitter the DC initial guess) and
+    gives up immediately on {e permanent} ones.
+
+    Each policy feeds {!Yield_obs.Metrics}: the [retry.<name>.attempts]
+    histogram (attempts per call) and the [retry.<name>.retries] /
+    [.recovered] / [.exhausted] / [.permanent] counters.  When fault
+    injection is the only transient-failure source, the accounting identity
+
+    [fault.<point>.injected = retry.<name>.retries + retry.<name>.exhausted]
+
+    holds exactly, which is how the tests prove no injected fault goes
+    unaccounted. *)
+
+type classification = Transient | Permanent
+
+type policy
+
+val policy : ?max_attempts:int -> string -> policy
+(** [policy name] with [max_attempts] total attempts (default 3: the first
+    try plus two retries).  @raise Invalid_argument when [max_attempts < 1]. *)
+
+val name : policy -> string
+
+val max_attempts : policy -> int
+
+val with_retries :
+  policy ->
+  classify:('e -> classification) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** [with_retries p ~classify f] calls [f ~attempt:1], retrying transient
+    errors with increasing [attempt] up to the policy bound.  Returns the
+    first success or the last failure. *)

@@ -1,6 +1,11 @@
 module Cmat = Yield_numeric.Cmat
+module Fault = Yield_resilience.Fault
 
 type bode = { freqs : float array; response : Complex.t array }
+
+(* [ac.solve] fault: the transfer comes back all-NaN, which every measure
+   downstream maps to a failed (not crashed) evaluation *)
+let fp_solve = Fault.point "ac.solve"
 
 let system circuit (op : Dcop.t) =
   let ops name = Dcop.mos_op op name in
@@ -14,15 +19,18 @@ let solve_pieces (g, c, rhs) ~freq =
 let solve_at circuit op ~freq = solve_pieces (system circuit op) ~freq
 
 let transfer circuit op ~out ~freqs =
-  let pieces = system circuit op in
-  let response =
-    Array.map
-      (fun freq ->
-        let x = solve_pieces pieces ~freq in
-        if out = Device.ground then Complex.zero else x.(out - 1))
-      freqs
-  in
-  { freqs; response }
+  if Fault.fire fp_solve then
+    { freqs; response = Array.map (fun _ -> Complex.{ re = nan; im = nan }) freqs }
+  else
+    let pieces = system circuit op in
+    let response =
+      Array.map
+        (fun freq ->
+          let x = solve_pieces pieces ~freq in
+          if out = Device.ground then Complex.zero else x.(out - 1))
+        freqs
+    in
+    { freqs; response }
 
 let transfer_by_name circuit op ~out ~freqs =
   transfer circuit op ~out:(Circuit.node circuit out) ~freqs

@@ -1,6 +1,9 @@
 module Vec = Yield_numeric.Vec
 module Lu = Yield_numeric.Lu
 module Metrics = Yield_obs.Metrics
+module Fault = Yield_resilience.Fault
+module Retry = Yield_resilience.Retry
+module Rng = Yield_stats.Rng
 
 (* static handles: [solve] sits under every Monte Carlo sample, so the
    instruments are resolved once and each record is O(1) *)
@@ -11,6 +14,15 @@ let h_gmin_steps = Metrics.histogram "dcop.gmin_steps"
 let h_recovery_attempts = Metrics.histogram "dcop.recovery_attempts"
 
 let c_convergence_failures = Metrics.counter "dcop.convergence_failures"
+
+(* injection points: [dcop.solve] fails the whole solve (a transient
+   non-convergence the retry layer can absorb); [dcop.newton] / [dcop.gmin]
+   fail one homotopy stage, forcing the next fallback in the chain *)
+let fp_solve = Fault.point "dcop.solve"
+
+let fp_newton = Fault.point "dcop.newton"
+
+let fp_gmin = Fault.point "dcop.gmin"
 
 type t = {
   x : Vec.t;
@@ -81,9 +93,12 @@ let initial_guess circuit layout =
     (Circuit.nodesets circuit);
   x
 
-let solve ?(options = default_options) circuit =
+let solve ?(options = default_options) ?x0_jitter circuit =
   let layout = Mna.layout circuit in
   let x0 = initial_guess circuit layout in
+  (match x0_jitter with
+  | None -> ()
+  | Some jitter -> Array.iteri (fun k v -> x0.(k) <- v +. jitter k) x0);
   let attempts = ref [] in
   let note what = attempts := what :: !attempts in
   let finish (x, iterations) =
@@ -96,8 +111,16 @@ let solve ?(options = default_options) circuit =
     Metrics.observe h_recovery_attempts (float_of_int (List.length !attempts));
     Error (No_convergence { attempts = List.rev !attempts })
   in
+  if Fault.fire fp_solve then begin
+    note "injected-fault";
+    no_convergence ()
+  end
+  else begin
   note "newton";
-  match newton circuit layout options ~source_scale:1. ~gmin:options.gmin ~x0 with
+  match
+    (if Fault.fire fp_newton then None
+     else newton circuit layout options ~source_scale:1. ~gmin:options.gmin ~x0)
+  with
   | Some result -> finish result
   | None -> begin
       (* gmin stepping: converge a heavily damped system, then relax *)
@@ -114,9 +137,13 @@ let solve ?(options = default_options) circuit =
           end
       in
       let gmin_result =
-        match gmin_walk x0 steps with
-        | Some x -> newton circuit layout options ~source_scale:1. ~gmin:options.gmin ~x0:x
-        | None -> None
+        if Fault.fire fp_gmin then None
+        else
+          match gmin_walk x0 steps with
+          | Some x ->
+              newton circuit layout options ~source_scale:1. ~gmin:options.gmin
+                ~x0:x
+          | None -> None
       in
       Metrics.observe h_gmin_steps (float_of_int !gmin_steps);
       match gmin_result with
@@ -148,6 +175,27 @@ let solve ?(options = default_options) circuit =
           | None -> no_convergence ()
         end
     end
+  end
+
+let classify_error = function
+  | No_convergence _ -> Retry.Transient
+  | Singular_system _ -> Retry.Permanent
+
+let retry_policy = Retry.policy "dcop.solve"
+
+let solve_with_retry ?options circuit =
+  Retry.with_retries retry_policy ~classify:classify_error (fun ~attempt ->
+      let x0_jitter =
+        if attempt <= 1 then None
+        else begin
+          (* deterministic per-attempt perturbation of the initial guess:
+             nudging the starting point is often enough to escape a basin
+             where damped Newton stalls *)
+          let rng = Rng.create (0x5eed + attempt) in
+          Some (fun _k -> Rng.normal rng ~mean:0. ~sigma:0.05)
+        end
+      in
+      solve ?options ?x0_jitter circuit)
 
 let voltage t node = Mna.voltage t.x node
 

@@ -23,7 +23,24 @@ type error =
 
 val error_to_string : error -> string
 
-val solve : ?options:options -> Circuit.t -> (t, error) result
+val classify_error : error -> Yield_resilience.Retry.classification
+(** [No_convergence] is transient (a different starting point may converge);
+    [Singular_system] is permanent (the topology itself is broken). *)
+
+val solve : ?options:options -> ?x0_jitter:(int -> float) -> Circuit.t -> (t, error) result
+(** [x0_jitter k] is added to unknown [k] of the initial guess — the retry
+    layer uses it to perturb the starting point between attempts.
+
+    The solve chain consults three fault-injection points
+    ({!Yield_resilience.Fault}): [dcop.solve] fails the whole call with
+    [No_convergence], while [dcop.newton] and [dcop.gmin] fail one homotopy
+    stage each, forcing the gmin-stepping / source-stepping fallbacks. *)
+
+val solve_with_retry : ?options:options -> Circuit.t -> (t, error) result
+(** {!solve} under the [dcop.solve] retry policy (3 attempts): transient
+    non-convergence is retried with a deterministic gaussian jitter
+    (sigma 50 mV) on the initial guess; singular systems fail immediately.
+    Accounting lands in the [retry.dcop.solve.*] metrics. *)
 
 val voltage : t -> Device.node -> float
 

@@ -94,3 +94,38 @@ let shuffle_in_place t a =
 let pick t a =
   if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
   a.(int t (Array.length a))
+
+(* serialisable snapshot for checkpoint/resume; defined last so its fields
+   do not shadow [t]'s in the functions above *)
+type state = {
+  s0 : int64;
+  s1 : int64;
+  s2 : int64;
+  s3 : int64;
+  cached_gaussian : float option;
+}
+
+let save (t : t) : state =
+  {
+    s0 = t.s0;
+    s1 = t.s1;
+    s2 = t.s2;
+    s3 = t.s3;
+    cached_gaussian = t.cached_gaussian;
+  }
+
+let restore (t : t) (s : state) =
+  t.s0 <- s.s0;
+  t.s1 <- s.s1;
+  t.s2 <- s.s2;
+  t.s3 <- s.s3;
+  t.cached_gaussian <- s.cached_gaussian
+
+let of_state (s : state) : t =
+  {
+    s0 = s.s0;
+    s1 = s.s1;
+    s2 = s.s2;
+    s3 = s.s3;
+    cached_gaussian = s.cached_gaussian;
+  }

@@ -17,6 +17,26 @@ val split : t -> t
 
 val copy : t -> t
 
+type state = {
+  s0 : int64;
+  s1 : int64;
+  s2 : int64;
+  s3 : int64;
+  cached_gaussian : float option;
+      (** the unemitted second Box–Muller deviate, if any — without it a
+          restored stream would diverge at the next [gaussian] call *)
+}
+(** A complete, serialisable snapshot of a generator.  Used by the
+    checkpoint/resume machinery: restoring the state continues the stream
+    bit-identically. *)
+
+val save : t -> state
+
+val restore : t -> state -> unit
+(** Overwrite [t] in place with the saved state. *)
+
+val of_state : state -> t
+
 val uint64 : t -> int64
 (** Next raw 64-bit output. *)
 

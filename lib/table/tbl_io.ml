@@ -1,4 +1,21 @@
+module Fault = Yield_resilience.Fault
+module Atomic_io = Yield_resilience.Atomic_io
+
 type table = { columns : string array; rows : float array array }
+
+type read_error = { path : string option; line : int option; message : string }
+
+let read_error_to_string e =
+  let where =
+    match (e.path, e.line) with
+    | Some p, Some l -> Printf.sprintf "%s:%d: " p l
+    | Some p, None -> p ^ ": "
+    | None, Some l -> Printf.sprintf "line %d: " l
+    | None, None -> ""
+  in
+  where ^ e.message
+
+exception Parse of read_error
 
 let create ~columns ~rows =
   let k = Array.length columns in
@@ -41,75 +58,104 @@ let to_string t =
     t.rows;
   Buffer.contents buf
 
-let of_string text =
-  let lines = String.split_on_char '\n' text in
-  let columns = ref None in
-  let rows = ref [] in
-  List.iteri
-    (fun lineno line ->
-      let trimmed = String.trim line in
-      if trimmed = "" then ()
-      else if String.length trimmed > 0 && trimmed.[0] = '#' then begin
-        let prefix = "# columns:" in
-        if
-          String.length trimmed >= String.length prefix
-          && String.sub trimmed 0 (String.length prefix) = prefix
-        then begin
-          let names =
-            String.sub trimmed (String.length prefix)
-              (String.length trimmed - String.length prefix)
-            |> String.split_on_char ' '
+let of_string_result ?path text =
+  let err ?line fmt =
+    Printf.ksprintf (fun message -> raise (Parse { path; line; message })) fmt
+  in
+  let parse_all () =
+    let lines = String.split_on_char '\n' text in
+    let columns = ref None in
+    let rows = ref [] in
+    List.iteri
+      (fun lineno line ->
+        let trimmed = String.trim line in
+        if trimmed = "" then ()
+        else if String.length trimmed > 0 && trimmed.[0] = '#' then begin
+          let prefix = "# columns:" in
+          if
+            String.length trimmed >= String.length prefix
+            && String.sub trimmed 0 (String.length prefix) = prefix
+          then begin
+            let names =
+              String.sub trimmed (String.length prefix)
+                (String.length trimmed - String.length prefix)
+              |> String.split_on_char ' '
+              |> List.filter (fun s -> s <> "")
+            in
+            columns := Some (Array.of_list names)
+          end
+        end
+        else begin
+          let fields =
+            String.split_on_char ' ' trimmed
+            |> List.concat_map (String.split_on_char '\t')
             |> List.filter (fun s -> s <> "")
           in
-          columns := Some (Array.of_list names)
-        end
-      end
-      else begin
-        let fields =
-          String.split_on_char ' ' trimmed
-          |> List.concat_map (String.split_on_char '\t')
-          |> List.filter (fun s -> s <> "")
-        in
-        let parse s =
-          match float_of_string_opt s with
-          | Some v -> v
-          | None ->
-              failwith
-                (Printf.sprintf "Tbl_io.of_string: bad number %S on line %d" s
-                   (lineno + 1))
-        in
-        rows := Array.of_list (List.map parse fields) :: !rows
-      end)
-    lines;
-  let rows = Array.of_list (List.rev !rows) in
-  let width = if Array.length rows = 0 then 0 else Array.length rows.(0) in
-  Array.iter
-    (fun row ->
-      if Array.length row <> width then failwith "Tbl_io.of_string: ragged rows")
-    rows;
-  let columns =
-    match !columns with
-    | Some c ->
-        if Array.length rows > 0 && Array.length c <> width then
-          failwith "Tbl_io.of_string: header/data width mismatch";
-        c
-    | None -> Array.init width (Printf.sprintf "c%d")
+          let parse s =
+            match float_of_string_opt s with
+            | Some v -> v
+            | None -> err ~line:(lineno + 1) "bad number %S" s
+          in
+          rows := (Array.of_list (List.map parse fields), lineno + 1) :: !rows
+        end)
+      lines;
+    let rows = Array.of_list (List.rev !rows) in
+    let width = if Array.length rows = 0 then 0 else Array.length (fst rows.(0)) in
+    Array.iter
+      (fun (row, line) ->
+        if Array.length row <> width then
+          err ~line "ragged row: %d fields where the first data row has %d"
+            (Array.length row) width)
+      rows;
+    let columns =
+      match !columns with
+      | Some c ->
+          if Array.length rows > 0 && Array.length c <> width then
+            err "header names %d columns but the data rows have %d"
+              (Array.length c) width;
+          c
+      | None -> Array.init width (Printf.sprintf "c%d")
+    in
+    { columns; rows = Array.map fst rows }
   in
-  { columns; rows }
+  match parse_all () with t -> Ok t | exception Parse e -> Error e
+
+let of_string text =
+  match of_string_result text with
+  | Ok t -> t
+  | Error e -> failwith ("Tbl_io.of_string: " ^ read_error_to_string e)
+
+(* every [.tbl] lands atomically ([tbl.write] is the torn-write injection
+   point: it crashes after a half-written temp, never a half-written table) *)
+let fp_write = Fault.point "tbl.write"
 
 let write ~path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t))
+  let contents = to_string t in
+  if Fault.fire fp_write then begin
+    let tmp = Atomic_io.temp_path path in
+    let oc = open_out tmp in
+    output_string oc (String.sub contents 0 (String.length contents / 2));
+    close_out oc;
+    raise (Fault.Injected ("tbl.write: " ^ path))
+  end;
+  Atomic_io.write_file ~path contents
+
+let read_result ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        really_input_string ic len)
+  with
+  | exception Sys_error msg -> Error { path = Some path; line = None; message = msg }
+  | text -> of_string_result ~path text
 
 let read ~path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      of_string (really_input_string ic len))
+  match read_result ~path with
+  | Ok t -> t
+  | Error e -> failwith ("Tbl_io.read: " ^ read_error_to_string e)
 
 let sort_by t name =
   let i = column_index t name in

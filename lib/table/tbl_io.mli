@@ -17,13 +17,37 @@ val n_rows : table -> int
 
 val to_string : table -> string
 
+type read_error = {
+  path : string option;
+  line : int option;  (** 1-based line of the offending input, when known *)
+  message : string;
+}
+
+val read_error_to_string : read_error -> string
+(** ["file.tbl:12: bad number \"x\""]-style rendering. *)
+
 val of_string : string -> table
 (** Columns default to [c0, c1, ...] when no header is present.
     @raise Failure on malformed numeric data or ragged rows. *)
 
+val of_string_result : ?path:string -> string -> (table, read_error) result
+(** Like {!of_string} but with a typed error carrying file/line context
+    ([path] only labels the error messages). *)
+
 val write : path:string -> table -> unit
+(** Atomic (temp-then-rename): a crash mid-write never leaves a torn table.
+    Consults the [tbl.write] fault-injection point
+    ({!Yield_resilience.Fault}), which simulates exactly such a crash —
+    half-written temporary, destination untouched — by raising
+    {!Yield_resilience.Fault.Injected}. *)
 
 val read : path:string -> table
+(** @raise Failure on malformed or unreadable files, with file/line
+    context in the message. *)
+
+val read_result : path:string -> (table, read_error) result
+(** Non-raising {!read}: unreadable files and parse failures come back as
+    a typed {!read_error}. *)
 
 val sort_by : table -> string -> table
 (** Rows sorted ascending on the named column. *)

@@ -15,4 +15,5 @@ let () =
          T_circuits2.suites;
          T_behavioural.suites;
          T_core.suites;
+         T_resilience.suites;
        ])
