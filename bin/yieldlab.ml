@@ -8,7 +8,8 @@
      flow       the full model-generation flow; writes the .tbl tables
      design     yield-targeted design query against saved tables
      filter     the Section 5 filter design from an OTA description
-     netlist    parse a SPICE-like netlist, solve DC, print the bias point *)
+     netlist    parse a SPICE-like netlist, solve DC, print the bias point
+     lint       preflight static analysis of netlists, .tbl models, configs *)
 
 module Ota = Yield_circuits.Ota
 module Tb = Yield_circuits.Ota_testbench
@@ -34,6 +35,10 @@ module Netlist = Yield_spice.Netlist
 
 module Obs = Yield_obs.Obs
 module Fault = Yield_resilience.Fault
+module Diagnostic = Yield_analyse.Diagnostic
+module Netlist_lint = Yield_analyse.Netlist_lint
+module Table_lint = Yield_analyse.Table_lint
+module Config_lint = Yield_analyse.Config_lint
 
 open Cmdliner
 
@@ -95,6 +100,13 @@ let with_obs opts run =
   (match opts.fault_spec with
   | None -> ()
   | Some spec -> begin
+      (* static validation first: arming registers the named points, so a
+         typo would otherwise silently create a schedule that never fires *)
+      let diags = Config_lint.check_fault_spec spec in
+      List.iter
+        (fun d -> Printf.eprintf "yieldlab: %s\n" (Diagnostic.to_text d))
+        diags;
+      if Diagnostic.count Diagnostic.Error diags > 0 then exit 2;
       match Fault.arm_spec spec with
       | Ok () ->
           List.iter
@@ -384,11 +396,13 @@ let optimize_cmd =
 
 (* ---------- flow ---------- *)
 
-let flow fast topology out_dir checkpoint_dir resume =
+let flow fast topology out_dir checkpoint_dir resume no_preflight =
   let config = if fast then Config.fast_scale else Config.paper_scale in
+  let preflight = not no_preflight in
   let flow =
     match topology with
-    | `Ota -> Flow.run ~log:print_endline ?checkpoint_dir ~resume config
+    | `Ota ->
+        Flow.run ~log:print_endline ~preflight ?checkpoint_dir ~resume config
     | `Miller ->
         let module Miller_flow = Flow.Make (Yield_circuits.Miller) in
         let config =
@@ -401,7 +415,8 @@ let flow fast topology out_dir checkpoint_dir resume =
               };
           }
         in
-        Miller_flow.run ~log:print_endline ?checkpoint_dir ~resume config
+        Miller_flow.run ~log:print_endline ~preflight ?checkpoint_dir ~resume
+          config
   in
   let written = Flow.save_tables flow ~dir:out_dir in
   Printf.printf "front %d points, %d variation points\n"
@@ -447,11 +462,20 @@ let flow_cmd =
             "continue from the state in $(b,--checkpoint) DIR; the resumed \
              run is bit-identical to an uninterrupted one")
   in
+  let no_preflight =
+    Arg.(
+      value & flag
+      & info [ "no-preflight" ]
+          ~doc:
+            "skip the preflight static analysis (config cross-checks, \
+             checkpoint fingerprint dry-run, netlist lint) that otherwise \
+             aborts the run on error-severity findings")
+  in
   obs_cmd
     (Cmd.info "flow" ~doc:"run the full model-generation flow (Figure 3)")
     Term.(
-      const (fun f t o c r () -> flow f t o c r)
-      $ fast $ topology $ out_dir $ checkpoint_dir $ resume)
+      const (fun f t o c r n () -> flow f t o c r n)
+      $ fast $ topology $ out_dir $ checkpoint_dir $ resume $ no_preflight)
 
 (* ---------- design ---------- *)
 
@@ -712,6 +736,166 @@ let netlist_cmd =
     (Cmd.info "netlist" ~doc:"parse a netlist and print its DC operating point")
     Term.(const (fun p () -> netlist_run p) $ path)
 
+(* ---------- lint ---------- *)
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "print findings as one JSON object on stdout instead of text \
+           (stable shape: findings array + severity counts + worst)")
+
+(* common tail of every lint subcommand: render, then exit by worst
+   severity (2 = errors, 1 = warnings only, 0 = clean or info-only) *)
+let report_diags ~json diags =
+  if json then
+    print_endline (Yield_obs.Json.to_string (Diagnostic.list_to_json diags))
+  else print_endline (Diagnostic.list_to_text diags);
+  Diagnostic.exit_code diags
+
+let pairs_of_topology = function
+  | `None -> []
+  | `Ota -> Ota.symmetric_pairs
+  | `Miller -> Yield_circuits.Miller.symmetric_pairs
+
+let lint_netlist json topology files =
+  let pairs = pairs_of_topology topology in
+  report_diags ~json
+    (List.concat_map
+       (fun f -> Netlist_lint.check_file ~tech:Tech.c35 ~pairs f)
+       files)
+
+let lint_netlist_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"netlist file(s) to lint")
+  in
+  let topology =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("ota", `Ota); ("miller", `Miller) ]) `None
+      & info [ "topology" ] ~docv:"NAME"
+          ~doc:
+            "also assert the named topology's symmetric-pair W/L invariants \
+             (ota or miller)")
+  in
+  obs_cmd
+    (Cmd.info "netlist"
+       ~doc:
+         "lint netlists: connectivity (floating nodes, no-DC-path, \
+          voltage-source loops), device values, topology invariants")
+    Term.(
+      const (fun j t fs () -> lint_netlist j t fs)
+      $ json_flag $ topology $ files)
+
+let lint_tbl json axes control files =
+  report_diags ~json
+    (List.concat_map (fun f -> Table_lint.check_file ?axes ?control f) files)
+
+let lint_tbl_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:".tbl file(s) to lint")
+  in
+  let axes =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "axes" ] ~docv:"COL,..."
+          ~doc:
+            "columns serving as interpolation abscissae (default: the first \
+             column); each must be strictly increasing")
+  in
+  let control =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "control" ] ~docv:"STR"
+          ~doc:
+            "table-model control string to check against the axes (e.g. the \
+             paper's '3E')")
+  in
+  obs_cmd
+    (Cmd.info "tbl"
+       ~doc:
+         "lint .tbl table models: monotone axes, NaN/Inf cells, control \
+          string consistency")
+    Term.(
+      const (fun j a c fs () -> lint_tbl j a c fs)
+      $ json_flag $ axes $ control $ files)
+
+let lint_config json fast checkpoint_dir resume fault_spec_check =
+  let config = if fast then Config.fast_scale else Config.paper_scale in
+  let view =
+    {
+      Config_lint.population = config.Config.ga.Ga.population_size;
+      generations = config.Config.ga.Ga.generations;
+      mc_samples = config.Config.mc_samples;
+      front_stride = config.Config.front_stride;
+      control = config.Config.control;
+      seed = config.Config.seed;
+      fingerprint = Config.fingerprint config;
+    }
+  in
+  let diags = Config_lint.check ?checkpoint_dir ~resume view in
+  let fault_diags =
+    match fault_spec_check with
+    | None -> []
+    | Some spec -> Config_lint.check_fault_spec spec
+  in
+  report_diags ~json (diags @ fault_diags)
+
+let lint_config_cmd =
+  let fast =
+    Arg.(
+      value & flag
+      & info [ "fast" ] ~doc:"lint the reduced-scale config (as `flow --fast`)")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "dry-run the checkpoint compatibility check against DIR \
+             (fingerprint match, resumability)")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"lint as if the flow would be resumed from $(b,--checkpoint)")
+  in
+  let fault_spec_check =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check-fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "statically validate a fault-injection spec (names must be \
+             registered points, schedules must be able to fire) without \
+             arming it")
+  in
+  obs_cmd
+    (Cmd.info "config"
+       ~doc:
+         "preflight the flow configuration: scale cross-checks, checkpoint \
+          fingerprint dry-run, fault-spec validation")
+    Term.(
+      const (fun j f c r s () -> lint_config j f c r s)
+      $ json_flag $ fast $ checkpoint_dir $ resume $ fault_spec_check)
+
+let lint_cmd =
+  Cmd.group
+    (Cmd.info "lint"
+       ~doc:
+         "preflight static analysis: diagnostics with stable codes \
+          (N/T/C/F), text or JSON output, worst-severity exit code")
+    [ lint_netlist_cmd; lint_tbl_cmd; lint_config_cmd ]
+
 (* ---------- main ---------- *)
 
 let () =
@@ -737,4 +921,5 @@ let () =
             sensitivity_cmd;
             export_va_cmd;
             netlist_cmd;
+            lint_cmd;
           ]))

@@ -1,0 +1,45 @@
+(** Config and flow preflight: cross-field validation of the flow's
+    configuration, a checkpoint-fingerprint dry-run, and static validation
+    of [--fault-spec] strings — everything that can doom a multi-hour run
+    and is knowable before the first simulation.
+
+    The pass works on a {!view} (a plain projection of
+    [Yield_core.Config.t]) so this library stays below [yield_core] in the
+    dependency order and [Flow.run] can call it as its preflight stage.
+
+    Codes:
+    - [C001] (error) non-positive GA/MC scale field
+    - [C002] mc_samples vs. the degradation threshold: below
+      {!min_valid_mc_samples} every front point is skipped and the flow is
+      guaranteed to starve (error); below four times it, a realistic
+      failure rate starves it (warning)
+    - [C003] (warning) front_stride so large that two or fewer front points
+      can be analysed — the variation model needs at least two
+    - [C004] (error) malformed table-model control string
+    - [C005] checkpoint dry-run: fingerprint mismatch (error), resumable
+      state present without [--resume] (info: it will be discarded)
+    - [F001] (error) unparseable [--fault-spec]
+    - [F002] (error) fault-spec names an unknown injection point — the
+      schedule would silently never fire
+    - [F003] (warning) schedule that can never fire ([rate=0]) *)
+
+type view = {
+  population : int;
+  generations : int;
+  mc_samples : int;
+  front_stride : int;
+  control : string;
+  seed : int;
+  fingerprint : string;
+}
+
+val min_valid_mc_samples : int
+(** The flow's degradation threshold (8): a front point whose Monte Carlo
+    batch keeps fewer valid samples is skipped.  [Flow] reads it from here
+    so the linter and the runtime can never disagree. *)
+
+val check : ?checkpoint_dir:string -> ?resume:bool -> view -> Diagnostic.t list
+
+val check_fault_spec : ?known:string list -> string -> Diagnostic.t list
+(** [known] defaults to {!Yield_resilience.Fault.known} — every injection
+    point registered in the running program. *)

@@ -1,0 +1,97 @@
+module Json = Yield_obs.Json
+
+type severity = Info | Warning | Error
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : string;
+  message : string;
+  file : string option;
+  line : int option;
+}
+
+let make ?file ?line ~code ~severity ~subject message =
+  { code; severity; subject; message; file; line }
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> begin
+      match String.compare a.code b.code with
+      | 0 -> String.compare a.subject b.subject
+      | c -> c
+    end
+  | c -> c
+
+let sort diags = List.stable_sort compare diags
+
+let worst diags =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.severity
+      | Some w ->
+          if severity_rank d.severity < severity_rank w then Some d.severity
+          else acc)
+    None diags
+
+let exit_code diags =
+  match worst diags with
+  | Some Error -> 2
+  | Some Warning -> 1
+  | Some Info | None -> 0
+
+let count severity diags =
+  List.length (List.filter (fun d -> d.severity = severity) diags)
+
+let to_text d =
+  let where =
+    match (d.file, d.line) with
+    | Some f, Some l -> Printf.sprintf "%s:%d: " f l
+    | Some f, None -> f ^ ": "
+    | None, Some l -> Printf.sprintf "line %d: " l
+    | None, None -> ""
+  in
+  Printf.sprintf "%s%s %s [%s]: %s" where
+    (severity_to_string d.severity)
+    d.code d.subject d.message
+
+let list_to_text diags =
+  let sorted = sort diags in
+  let summary =
+    Printf.sprintf "%d error(s), %d warning(s), %d info" (count Error diags)
+      (count Warning diags) (count Info diags)
+  in
+  String.concat "\n" (List.map to_text sorted @ [ summary ])
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_to_string d.severity));
+      ("subject", Json.String d.subject);
+      ("message", Json.String d.message);
+      ( "file",
+        match d.file with Some f -> Json.String f | None -> Json.Null );
+      ("line", match d.line with Some l -> Json.Int l | None -> Json.Null);
+    ]
+
+let list_to_json diags =
+  Json.Obj
+    [
+      ("findings", Json.List (List.map to_json (sort diags)));
+      ("errors", Json.Int (count Error diags));
+      ("warnings", Json.Int (count Warning diags));
+      ("infos", Json.Int (count Info diags));
+      ( "worst",
+        match worst diags with
+        | Some w -> Json.String (severity_to_string w)
+        | None -> Json.Null );
+    ]

@@ -1,0 +1,52 @@
+(** Preflight diagnostics: stable codes, severities, renderers.
+
+    Every finding any lint pass can produce carries a stable code — [Nxxx]
+    for netlist checks, [Txxx] for table-model checks, [Cxxx]/[Fxxx] for
+    config and fault-spec checks — so scripts, CI jobs and golden tests can
+    match on codes while messages stay free to improve.  The catalogue lives
+    in README.md §"Preflight static analysis"; codes are never reused or
+    renumbered, only retired. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  code : string;  (** stable, e.g. ["N002"] *)
+  severity : severity;
+  subject : string;  (** node/device/column/field the finding is about *)
+  message : string;
+  file : string option;  (** source file, when linting one *)
+  line : int option;  (** 1-based, when known *)
+}
+
+val make :
+  ?file:string -> ?line:int -> code:string -> severity:severity ->
+  subject:string -> string -> t
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val compare : t -> t -> int
+(** Worst severity first, then code, then subject — the rendering order. *)
+
+val sort : t list -> t list
+
+val worst : t list -> severity option
+(** [None] for an empty list. *)
+
+val exit_code : t list -> int
+(** Worst-severity process exit: 2 with any error, 1 with any warning,
+    0 otherwise (info-only lists are clean). *)
+
+val count : severity -> t list -> int
+
+val to_text : t -> string
+(** ["file:12: error N002 [g]: node g has no DC path to ground"]. *)
+
+val list_to_text : t list -> string
+(** Sorted findings one per line, followed by a summary line. *)
+
+val to_json : t -> Yield_obs.Json.t
+
+val list_to_json : t list -> Yield_obs.Json.t
+(** [{"findings": [...], "errors": n, "warnings": n, "infos": n,
+    "worst": "error"|"warning"|"info"|null}] with findings sorted. *)

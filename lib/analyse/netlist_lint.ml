@@ -1,0 +1,132 @@
+module Circuit = Yield_spice.Circuit
+module Device = Yield_spice.Device
+module Netlist = Yield_spice.Netlist
+module Topology = Yield_spice.Topology
+module Tech = Yield_process.Tech
+
+let diag = Diagnostic.make
+
+let structural ?file circuit =
+  List.map
+    (fun issue ->
+      match issue with
+      | Topology.No_dc_path { node } ->
+          diag ?file ~code:"N002" ~severity:Diagnostic.Error ~subject:node
+            (Topology.issue_to_string issue
+            ^ " — the MNA system is singular; Dcop will fail")
+      | Topology.Vsource_loop { through } ->
+          diag ?file ~code:"N003" ~severity:Diagnostic.Error ~subject:through
+            (Topology.issue_to_string issue
+            ^ " — the MNA system is singular; Dcop will fail"))
+    (Topology.dc_issues circuit)
+
+let dangling ?file circuit =
+  List.map
+    (fun (node, device) ->
+      diag ?file ~code:"N001" ~severity:Diagnostic.Warning ~subject:node
+        (Printf.sprintf
+           "node %s is referenced only by device %s — dangling terminal?"
+           node device))
+    (Topology.dangling_nodes circuit)
+
+let device_values ?file ?tech circuit =
+  let out = ref [] in
+  let push d = out := d :: !out in
+  Array.iter
+    (fun dev ->
+      match dev with
+      | Device.Mosfet { name; w; l; _ } ->
+          if w <= 0. || l <= 0. then
+            push
+              (diag ?file ~code:"N004" ~severity:Diagnostic.Error ~subject:name
+                 (Printf.sprintf
+                    "MOSFET %s has non-positive geometry (w=%g m, l=%g m)" name
+                    w l))
+          else begin
+            match tech with
+            | Some t when l < t.Tech.l_min || w < t.Tech.l_min ->
+                push
+                  (diag ?file ~code:"N007" ~severity:Diagnostic.Warning
+                     ~subject:name
+                     (Printf.sprintf
+                        "MOSFET %s (w=%g m, l=%g m) is below the %s minimum \
+                         channel length %g m"
+                        name w l t.Tech.name t.Tech.l_min))
+            | Some _ | None -> ()
+          end
+      | Device.Resistor { name; ohms; _ } ->
+          if ohms <= 0. then
+            push
+              (diag ?file ~code:"N005" ~severity:Diagnostic.Error ~subject:name
+                 (Printf.sprintf
+                    "resistor %s has non-positive resistance %g Ohm" name ohms))
+      | Device.Capacitor { name; farads; _ } ->
+          if farads < 0. then
+            push
+              (diag ?file ~code:"N006" ~severity:Diagnostic.Error ~subject:name
+                 (Printf.sprintf "capacitor %s has negative capacitance %g F"
+                    name farads))
+      | Device.Vsource _ | Device.Isource _ | Device.Vccs _ -> ())
+    (Circuit.devices circuit);
+  List.rev !out
+
+(* a pair name matches the device called exactly that, or with any
+   "<prefix>." in front (builder and subckt-flattening prefixes) *)
+let name_matches ~pair_name device_name =
+  device_name = pair_name
+  ||
+  let np = String.length pair_name and nd = String.length device_name in
+  nd > np + 1
+  && device_name.[nd - np - 1] = '.'
+  && String.sub device_name (nd - np) np = pair_name
+
+let mosfets_named circuit pair_name =
+  Array.to_list (Circuit.devices circuit)
+  |> List.filter_map (fun dev ->
+         match dev with
+         | Device.Mosfet { name; w; l; _ } when name_matches ~pair_name name ->
+             Some (name, w, l)
+         | _ -> None)
+
+let symmetric_pairs ?file circuit pairs =
+  List.concat_map
+    (fun (a, b) ->
+      match (mosfets_named circuit a, mosfets_named circuit b) with
+      | (na, wa, la) :: _, (nb, wb, lb) :: _ when wa <> wb || la <> lb ->
+          [
+            diag ?file ~code:"N008" ~severity:Diagnostic.Warning
+              ~subject:(na ^ "/" ^ nb)
+              (Printf.sprintf
+                 "symmetric pair %s/%s mismatched: w=%g/%g m, l=%g/%g m" na nb
+                 wa wb la lb);
+          ]
+      | _ -> [])
+    pairs
+
+let check ?file ?tech ?(pairs = []) circuit =
+  structural ?file circuit
+  @ device_values ?file ?tech circuit
+  @ dangling ?file circuit
+  @ symmetric_pairs ?file circuit pairs
+
+let check_file ?tech ?pairs path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg ->
+      [
+        diag ~file:path ~code:"N000" ~severity:Diagnostic.Error ~subject:path
+          msg;
+      ]
+  | text -> begin
+      match Netlist.parse text with
+      | exception Netlist.Parse_error { line; message } ->
+          [
+            diag ~file:path ~line ~code:"N000" ~severity:Diagnostic.Error
+              ~subject:path message;
+          ]
+      | circuit -> check ~file:path ?tech ?pairs circuit
+    end

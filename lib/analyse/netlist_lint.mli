@@ -1,0 +1,42 @@
+(** Netlist lint: predict {!Yield_spice.Dcop} failures statically.
+
+    Runs the connectivity analysis of {!Yield_spice.Topology} plus per-device
+    value checks over a built {!Yield_spice.Circuit}, in milliseconds —
+    before the flow burns thousands of transistor-level evaluations on a
+    netlist that can only produce singular MNA systems.
+
+    Codes:
+    - [N001] (warning) node referenced by exactly one device terminal
+    - [N002] (error) node has no DC path to ground — {!Yield_spice.Dcop}
+      fails this circuit with [Singular_system]
+    - [N003] (error) voltage-source loop — likewise [Singular_system]
+    - [N004] (error) MOSFET with non-positive W or L —
+      {!Yield_spice.Mosfet.eval} raises on it
+    - [N005] (error) non-positive resistance (stamps an infinite
+      conductance)
+    - [N006] (error) negative capacitance
+    - [N007] (warning) MOSFET W or L below the technology's minimum channel
+      length
+    - [N008] (warning) symmetric-pair W/L mismatch (OTA/Miller topology
+      invariant) *)
+
+val check :
+  ?file:string ->
+  ?tech:Yield_process.Tech.t ->
+  ?pairs:(string * string) list ->
+  Yield_spice.Circuit.t ->
+  Diagnostic.t list
+(** [tech] enables the N007 range check; [pairs] names device pairs (e.g.
+    [("M3", "M4")]) whose W and L must match exactly — a pair name matches a
+    device called exactly that or with any [<prefix>.] in front (netlist
+    subcircuit and builder prefixes).  A pair with fewer than two matching
+    MOSFETs is skipped. *)
+
+val check_file :
+  ?tech:Yield_process.Tech.t ->
+  ?pairs:(string * string) list ->
+  string ->
+  Diagnostic.t list
+(** Read and parse a netlist file, then {!check}.  Unreadable files and
+    parse errors come back as a single [N000] error diagnostic carrying the
+    file/line context instead of raising. *)

@@ -1,0 +1,136 @@
+module Tbl_io = Yield_table.Tbl_io
+module Control = Yield_table.Control
+
+let diag = Diagnostic.make
+
+let check_cells ?file (t : Tbl_io.table) =
+  let out = ref [] in
+  Array.iteri
+    (fun r row ->
+      Array.iteri
+        (fun c v ->
+          if not (Float.is_finite v) then
+            out :=
+              diag ?file ~code:"T002" ~severity:Diagnostic.Error
+                ~subject:t.Tbl_io.columns.(c)
+                (Printf.sprintf "non-finite cell %g at row %d, column %s" v
+                   (r + 1) t.Tbl_io.columns.(c))
+              :: !out)
+        row)
+    t.Tbl_io.rows;
+  List.rev !out
+
+let check_axis ?file (t : Tbl_io.table) name =
+  match Tbl_io.column_opt t name with
+  | None ->
+      [
+        diag ?file ~code:"T003" ~severity:Diagnostic.Error ~subject:name
+          (Printf.sprintf "axis column %s not present in the table" name);
+      ]
+  | Some xs ->
+      let out = ref [] in
+      for i = 1 to Array.length xs - 1 do
+        if not (xs.(i) > xs.(i - 1)) then
+          out :=
+            diag ?file ~code:"T003" ~severity:Diagnostic.Error ~subject:name
+              (Printf.sprintf
+                 "axis column %s not strictly increasing at row %d: %g after \
+                  %g (%s)"
+                 name (i + 1) xs.(i)
+                 xs.(i - 1)
+                 (if xs.(i) = xs.(i - 1) then "duplicate abscissa"
+                  else "decreasing"))
+            :: !out
+      done;
+      List.rev !out
+
+let check_control ?file ~n_axes control =
+  match Control.parse control with
+  | exception Invalid_argument msg ->
+      [
+        diag ?file ~code:"T004" ~severity:Diagnostic.Error ~subject:control msg;
+      ]
+  | axes_spec ->
+      if List.length axes_spec <> n_axes then
+        [
+          diag ?file ~code:"T004" ~severity:Diagnostic.Error ~subject:control
+            (Printf.sprintf
+               "control string %S names %d dimension(s) but the table has %d \
+                axis column(s)"
+               control (List.length axes_spec) n_axes);
+        ]
+      else []
+
+let duplicate_columns ?file (t : Tbl_io.table) =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen c then
+        out :=
+          diag ?file ~code:"T006" ~severity:Diagnostic.Warning ~subject:c
+            (Printf.sprintf
+               "duplicate column name %s — lookups by name only reach the \
+                first"
+               c)
+          :: !out
+      else Hashtbl.add seen c ())
+    t.Tbl_io.columns;
+  List.rev !out
+
+let check ?file ?axes ?control (t : Tbl_io.table) =
+  let axes =
+    match axes with
+    | Some a -> a
+    | None ->
+        if Array.length t.Tbl_io.columns > 0 then [ t.Tbl_io.columns.(0) ]
+        else []
+  in
+  let size =
+    if Array.length t.Tbl_io.rows < 2 then
+      [
+        diag ?file ~code:"T005" ~severity:Diagnostic.Error ~subject:"rows"
+          (Printf.sprintf "only %d data row(s) — nothing to interpolate"
+             (Array.length t.Tbl_io.rows));
+      ]
+    else []
+  in
+  let control_diags =
+    match control with
+    | Some c -> check_control ?file ~n_axes:(List.length axes) c
+    | None -> []
+  in
+  size
+  @ check_cells ?file t
+  @ List.concat_map (check_axis ?file t) axes
+  @ control_diags
+  @ duplicate_columns ?file t
+
+let check_file ?axes ?control path =
+  match Tbl_io.read_result ~path with
+  | Error e ->
+      [
+        diag ~file:path ?line:e.Tbl_io.line ~code:"T001"
+          ~severity:Diagnostic.Error ~subject:path e.Tbl_io.message;
+      ]
+  | Ok t -> check ~file:path ?axes ?control t
+
+let spec_coverage ?file ~control ~axis ~lo ~hi ~query () =
+  let first_axis =
+    match Control.parse control with
+    | spec :: _ -> Some spec
+    | [] -> None
+    | exception Invalid_argument _ -> None
+  in
+  match first_axis with
+  | Some (Control.Interpolate { extrapolation = Control.Error; _ })
+    when query < lo || query > hi ->
+      [
+        diag ?file ~code:"T007" ~severity:Diagnostic.Warning ~subject:axis
+          (Printf.sprintf
+             "spec point %s=%g lies outside the table domain [%g, %g]: the \
+              %S control rejects extrapolation, so this yield target cannot \
+              be answered"
+             axis query lo hi control);
+      ]
+  | _ -> []

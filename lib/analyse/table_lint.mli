@@ -1,0 +1,43 @@
+(** Table-model lint: validate [.tbl] data before a spline ever sees it.
+
+    Codes:
+    - [T001] (error) unreadable or malformed [.tbl] file
+    - [T002] (error) NaN or infinite cell
+    - [T003] (error) axis column not strictly increasing (duplicate or
+      decreasing abscissa — cubic-spline knots must be distinct and sorted)
+    - [T004] (error) malformed control string, or token count inconsistent
+      with the axis count
+    - [T005] (error) fewer than two data rows (nothing to interpolate)
+    - [T006] (warning) duplicate column name (column lookup is by name;
+      later duplicates are unreachable)
+    - [T007] (warning) spec point outside the table domain — under an
+      ["E"]-policy control (the paper's ["3E"]) the query would be rejected
+      at runtime instead of extrapolated *)
+
+val check :
+  ?file:string ->
+  ?axes:string list ->
+  ?control:string ->
+  Yield_table.Tbl_io.table ->
+  Diagnostic.t list
+(** [axes] names the columns that serve as interpolation abscissae (default:
+    the first column); each must exist, be strictly increasing, and agree
+    with [control]'s token count when [control] is given. *)
+
+val check_file :
+  ?axes:string list -> ?control:string -> string -> Diagnostic.t list
+(** Read the file, then {!check}; IO/parse failures become a [T001] error
+    diagnostic. *)
+
+val spec_coverage :
+  ?file:string ->
+  control:string ->
+  axis:string ->
+  lo:float ->
+  hi:float ->
+  query:float ->
+  unit ->
+  Diagnostic.t list
+(** The no-extrapolation coverage check: empty when [query] lies inside
+    [[lo, hi]], or when [control]'s first token extrapolates (clamp/linear);
+    a [T007] warning when an ["E"] policy would reject the query. *)

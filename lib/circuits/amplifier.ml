@@ -11,6 +11,8 @@ module type S = sig
 
   val default_params : params
 
+  val symmetric_pairs : (string * string) list
+
   val add :
     Yield_spice.Circuit.t -> prefix:string -> tech:Yield_process.Tech.t ->
     params:params -> inp:string -> inn:string -> out:string -> vdd:string ->

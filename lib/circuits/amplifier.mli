@@ -17,6 +17,11 @@ module type S = sig
 
   val default_params : params
 
+  val symmetric_pairs : (string * string) list
+  (** Device-name pairs (unprefixed, e.g. [("M3", "M4")]) whose W/L must
+      match for the topology to be what it claims — the invariant the
+      preflight netlist lint asserts on the built testbench. *)
+
   val add :
     Yield_spice.Circuit.t -> prefix:string -> tech:Yield_process.Tech.t ->
     params:params -> inp:string -> inn:string -> out:string -> vdd:string ->

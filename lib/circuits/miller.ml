@@ -50,6 +50,8 @@ let input_pair_w = 30e-6
 
 let input_pair_l = 1e-6
 
+let symmetric_pairs = [ ("M1", "M2"); ("M3", "M4"); ("M5", "M8") ]
+
 let add circuit ~prefix ~tech ~params:p ~inp ~inn ~out ~vdd ~vss =
   let nm = tech.Tech.nmos and pm = tech.Tech.pmos in
   let node suffix = prefix ^ suffix in

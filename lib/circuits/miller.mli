@@ -46,6 +46,10 @@ val nulling_resistor : float
 val bias_current : float
 (** Reference current into the M8 diode (20 uA). *)
 
+val symmetric_pairs : (string * string) list
+(** Matched pairs (input pair, mirror loads, bias mirror) asserted by the
+    preflight netlist lint. *)
+
 val add :
   Yield_spice.Circuit.t -> prefix:string -> tech:Yield_process.Tech.t ->
   params:params -> inp:string -> inn:string -> out:string -> vdd:string ->

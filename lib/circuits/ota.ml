@@ -71,6 +71,9 @@ let input_pair_l = 1e-6
 
 let bias_current = 20e-6
 
+let symmetric_pairs =
+  [ ("M1", "M2"); ("M3", "M4"); ("M5", "M6"); ("M7", "M8"); ("M9", "M10") ]
+
 let add circuit ~prefix ~tech ~params:p ~inp ~inn ~out ~vdd ~vss =
   let nm = tech.Tech.nmos and pm = tech.Tech.pmos in
   let node suffix = prefix ^ suffix in

@@ -64,6 +64,10 @@ val input_pair_l : float
 val bias_current : float
 (** Reference bias current (20 uA into the M9 diode). *)
 
+val symmetric_pairs : (string * string) list
+(** The topology's matched pairs — input pair, diode loads, mirror outputs,
+    output mirror, tail mirror — asserted by the preflight netlist lint. *)
+
 val add :
   Yield_spice.Circuit.t -> prefix:string -> tech:Yield_process.Tech.t ->
   params:params -> inp:string -> inn:string -> out:string -> vdd:string ->

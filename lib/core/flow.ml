@@ -3,7 +3,6 @@ module Gtb = Yield_circuits.Testbench
 module Wbga = Yield_ga.Wbga
 module Rng = Yield_stats.Rng
 module Montecarlo = Yield_process.Montecarlo
-module Variation = Yield_process.Variation
 module Perf_model = Yield_behavioural.Perf_model
 module Var_model = Yield_behavioural.Var_model
 module Macromodel = Yield_behavioural.Macromodel
@@ -14,6 +13,9 @@ module Json = Yield_obs.Json
 module Fault = Yield_resilience.Fault
 module Codec = Yield_resilience.Codec
 module Checkpoint = Yield_resilience.Checkpoint
+module Diagnostic = Yield_analyse.Diagnostic
+module Config_lint = Yield_analyse.Config_lint
+module Netlist_lint = Yield_analyse.Netlist_lint
 
 (* the flow's public accounting is derived from the metrics registry: the
    same counters every sink exports ("wbga.evaluations" is the one [Wbga]
@@ -25,6 +27,10 @@ let c_wbga_evaluations = Metrics.counter "wbga.evaluations"
 let c_mc_attempted = Metrics.counter "mc.samples.attempted"
 
 let c_degraded = Metrics.counter "flow.points.degraded"
+
+let c_preflight_findings = Metrics.counter "preflight.findings"
+
+let c_preflight_errors = Metrics.counter "preflight.errors"
 
 (* crash points for the checkpoint/resume tests: each fires just after the
    corresponding stage persisted its state, simulating a kill there *)
@@ -74,10 +80,18 @@ let save_tables t ~dir =
   [ perf_path; var_path ]
 
 let load_models ~dir ~control =
-  let perf =
-    Perf_model.of_table ~control
-      (Yield_table.Tbl_io.read ~path:(Filename.concat dir "perf_model.tbl"))
+  let perf_table =
+    (* strict load: the gain column feeds spline knots, so the same
+       monotonicity the preflight linter checks (T003) is enforced here *)
+    match
+      Yield_table.Tbl_io.read_strict
+        ~path:(Filename.concat dir "perf_model.tbl")
+        ~axes:[ "gain" ]
+    with
+    | Ok t -> t
+    | Error e -> failwith (Yield_table.Tbl_io.read_error_to_string e)
   in
+  let perf = Perf_model.of_table ~control perf_table in
   let var =
     Var_model.of_table ~control
       (Yield_table.Tbl_io.read
@@ -163,7 +177,55 @@ let store_stage ckpt ~key to_json v =
 module Make (A : Yield_circuits.Amplifier.S) = struct
   module T = Gtb.Make (A)
 
-  let run ?(log = nop) ?checkpoint_dir ?(resume = false) (config : Config.t) =
+  (* the preflight stage: everything that can doom the run and is knowable
+     before the first simulation — config cross-field checks, a checkpoint
+     fingerprint dry-run, and a netlist lint of the amplifier's own
+     testbench at its default sizing *)
+  let preflight_check ?checkpoint_dir ~resume ~log (config : Config.t) =
+    Span.with_ ~name:"flow.preflight" (fun () ->
+        let view =
+          {
+            Config_lint.population =
+              config.Config.ga.Yield_ga.Ga.population_size;
+            generations = config.Config.ga.Yield_ga.Ga.generations;
+            mc_samples = config.Config.mc_samples;
+            front_stride = config.Config.front_stride;
+            control = config.Config.control;
+            seed = config.Config.seed;
+            fingerprint = Config.fingerprint config;
+          }
+        in
+        let config_diags = Config_lint.check ?checkpoint_dir ~resume view in
+        let circuit, _out =
+          T.build ~conditions:config.Config.conditions A.default_params
+        in
+        let netlist_diags =
+          Netlist_lint.check
+            ~tech:config.Config.conditions.Gtb.tech
+            ~pairs:A.symmetric_pairs circuit
+        in
+        let diags = Diagnostic.sort (config_diags @ netlist_diags) in
+        Metrics.add c_preflight_findings (List.length diags);
+        let errors = Diagnostic.count Diagnostic.Error diags in
+        let warnings = Diagnostic.count Diagnostic.Warning diags in
+        Metrics.add c_preflight_errors errors;
+        List.iter
+          (fun d -> log ("flow: preflight " ^ Diagnostic.to_text d))
+          diags;
+        if errors > 0 then
+          failwith
+            (Printf.sprintf
+               "Flow.run: preflight found %d error(s) — fix the \
+                configuration or pass ~preflight:false\n%s"
+               errors (Diagnostic.list_to_text diags))
+        else if warnings > 0 then
+          log
+            (Printf.sprintf "flow: preflight passed with %d warning(s)"
+               warnings))
+
+  let run ?(log = nop) ?(preflight = true) ?checkpoint_dir ?(resume = false)
+      (config : Config.t) =
+    if preflight then preflight_check ?checkpoint_dir ~resume ~log config;
     let conditions = config.Config.conditions in
     let ckpt =
       match checkpoint_dir with
@@ -316,7 +378,8 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
                         ~spec:config.Config.variation ~rng:sample_rng params)
                 in
                 let results = outcome.Montecarlo.results in
-                if Array.length results >= 8 then begin
+                if Array.length results >= Config_lint.min_valid_mc_samples
+                then begin
                   let gains = Array.map (fun r -> r.Gtb.gain_db) results in
                   let pms =
                     Array.map (fun r -> r.Gtb.phase_margin_deg) results

@@ -39,9 +39,16 @@ type t = {
 }
 
 val run :
-  ?log:(string -> unit) -> ?checkpoint_dir:string -> ?resume:bool ->
-  Config.t -> t
+  ?log:(string -> unit) -> ?preflight:bool -> ?checkpoint_dir:string ->
+  ?resume:bool -> Config.t -> t
 (** The paper's flow on its benchmark circuit (the symmetrical OTA).
+
+    Unless [~preflight:false], the run opens with a static-analysis stage
+    ({!Yield_analyse}): config cross-field checks, a checkpoint-fingerprint
+    dry-run, and a netlist lint of the amplifier's testbench at its default
+    sizing.  Error-severity findings abort the run before any simulation;
+    warnings are logged.  The stage is timed by the ["flow.preflight"] span
+    and counted in ["preflight.findings"] / ["preflight.errors"].
 
     With [checkpoint_dir], every stage persists its progress there
     ({!Yield_resilience.Checkpoint}): the WBGA state per generation
@@ -54,12 +61,14 @@ val run :
     same directory is discarded.  A directory recorded under a different
     {!Config.fingerprint} is refused.
 
-    A front point whose Monte Carlo batch yields fewer than 8 valid samples
-    is skipped (logged, counted in ["flow.points.degraded"]) instead of
+    A front point whose Monte Carlo batch yields fewer than
+    {!Yield_analyse.Config_lint.min_valid_mc_samples} valid samples is
+    skipped (logged, counted in ["flow.points.degraded"]) instead of
     crashing the flow or poisoning the variation model.
 
-    @raise Failure when the optimisation produces no usable front, or on a
-    checkpoint fingerprint mismatch. *)
+    @raise Failure when the preflight finds error-severity problems, when
+    the optimisation produces no usable front, or on a checkpoint
+    fingerprint mismatch. *)
 
 val design_for_spec :
   t -> Yield_behavioural.Yield_target.spec ->
@@ -92,8 +101,8 @@ val load_models :
     [min_unity_gain_hz]). *)
 module Make (A : Yield_circuits.Amplifier.S) : sig
   val run :
-    ?log:(string -> unit) -> ?checkpoint_dir:string -> ?resume:bool ->
-    Config.t -> t
+    ?log:(string -> unit) -> ?preflight:bool -> ?checkpoint_dir:string ->
+    ?resume:bool -> Config.t -> t
 
   val verify_design :
     t -> ?samples:int -> ?seed:int -> spec:Yield_behavioural.Yield_target.spec ->

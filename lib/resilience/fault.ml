@@ -58,6 +58,12 @@ let reset () =
           Atomic.set p.hits 0)
         points)
 
+let known () =
+  with_lock (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) points [])
+  |> List.sort String.compare
+
+let is_known name = with_lock (fun () -> Hashtbl.mem points name)
+
 let armed () =
   with_lock (fun () ->
       Hashtbl.fold

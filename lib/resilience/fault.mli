@@ -45,6 +45,15 @@ val reset : unit -> unit
 val armed : unit -> (string * mode) list
 (** The armed points, sorted by name. *)
 
+val known : unit -> string list
+(** Every registered point name, sorted.  Modules host their points in
+    top-level bindings, so by the time [main] runs the registry lists every
+    injection point linked into the program — the set a [--fault-spec]
+    string is validated against.  Note {!arm} registers its point too:
+    validate names {e before} arming. *)
+
+val is_known : string -> bool
+
 val fire : point -> bool
 (** Consume one hit of the point's schedule: [true] when armed and this hit
     fails.  The hit index is the point's internal atomic counter. *)

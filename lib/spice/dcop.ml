@@ -94,6 +94,13 @@ let initial_guess circuit layout =
   x
 
 let solve ?(options = default_options) ?x0_jitter circuit =
+  match Topology.dc_issues circuit with
+  | issue :: _ ->
+      (* structurally singular: no gmin or homotopy can make the answer
+         meaningful, so fail as Permanent before factoring anything *)
+      Metrics.incr c_convergence_failures;
+      Error (Singular_system (Topology.issue_to_string issue))
+  | [] ->
   let layout = Mna.layout circuit in
   let x0 = initial_guess circuit layout in
   (match x0_jitter with

@@ -31,6 +31,12 @@ val solve : ?options:options -> ?x0_jitter:(int -> float) -> Circuit.t -> (t, er
 (** [x0_jitter k] is added to unknown [k] of the initial guess — the retry
     layer uses it to perturb the starting point between attempts.
 
+    Structurally singular circuits ({!Topology.dc_issues}: a node with no DC
+    path to ground, a loop of voltage sources) fail immediately with
+    [Singular_system], before any factoring — previously gmin either masked
+    them with a meaningless 0 V bias or burned the whole homotopy chain into
+    a misclassified [No_convergence].
+
     The solve chain consults three fault-injection points
     ({!Yield_resilience.Fault}): [dcop.solve] fails the whole call with
     [No_convergence], while [dcop.newton] and [dcop.gmin] fail one homotopy

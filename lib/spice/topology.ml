@@ -1,0 +1,85 @@
+type issue =
+  | No_dc_path of { node : string }
+  | Vsource_loop of { through : string }
+
+let issue_to_string = function
+  | No_dc_path { node } ->
+      Printf.sprintf "node %s has no DC path to ground" node
+  | Vsource_loop { through } ->
+      Printf.sprintf "voltage source %s closes a loop of voltage sources"
+        through
+
+(* union-find over node indices, path-halving *)
+let rec find parent i =
+  let p = parent.(i) in
+  if p = i then i
+  else begin
+    parent.(i) <- parent.(p);
+    find parent parent.(i)
+  end
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+(* DC-conductive edges of a device: pairs of terminals a DC current can flow
+   between.  Gates, bulks, capacitors and current sources conduct none. *)
+let conductive_edges = function
+  | Device.Resistor { n1; n2; _ } -> [ (n1, n2) ]
+  | Device.Vsource { npos; nneg; _ } -> [ (npos, nneg) ]
+  | Device.Mosfet { d; s; _ } -> [ (d, s) ]
+  | Device.Capacitor _ | Device.Isource _ | Device.Vccs _ -> []
+
+let referenced_nodes circuit =
+  let seen = Hashtbl.create 32 in
+  Array.iter
+    (fun dev ->
+      List.iter
+        (fun n -> if not (Hashtbl.mem seen n) then Hashtbl.add seen n ())
+        (Device.nodes dev))
+    (Circuit.devices circuit);
+  seen
+
+let dc_issues circuit =
+  let n = Circuit.node_count circuit + 1 in
+  let parent = Array.init n Fun.id in
+  let vparent = Array.init n Fun.id in
+  let loops = ref [] in
+  Array.iter
+    (fun dev ->
+      List.iter (fun (a, b) -> union parent a b) (conductive_edges dev);
+      match dev with
+      | Device.Vsource { name; npos; nneg; _ } ->
+          if find vparent npos = find vparent nneg then
+            loops := Vsource_loop { through = name } :: !loops
+          else union vparent npos nneg
+      | _ -> ())
+    (Circuit.devices circuit);
+  let referenced = referenced_nodes circuit in
+  let ground_root = find parent Device.ground in
+  let floating = ref [] in
+  for node = n - 1 downto 1 do
+    if Hashtbl.mem referenced node && find parent node <> ground_root then
+      floating :=
+        No_dc_path { node = Circuit.node_name circuit node } :: !floating
+  done;
+  List.rev !loops @ !floating
+
+let dangling_nodes circuit =
+  let n = Circuit.node_count circuit + 1 in
+  let count = Array.make n 0 in
+  let owner = Array.make n "" in
+  Array.iter
+    (fun dev ->
+      List.iter
+        (fun node ->
+          count.(node) <- count.(node) + 1;
+          owner.(node) <- Device.name dev)
+        (Device.nodes dev))
+    (Circuit.devices circuit);
+  let out = ref [] in
+  for node = n - 1 downto 1 do
+    if count.(node) = 1 then
+      out := (Circuit.node_name circuit node, owner.(node)) :: !out
+  done;
+  !out

@@ -157,6 +157,48 @@ let read ~path =
   | Ok t -> t
   | Error e -> failwith ("Tbl_io.read: " ^ read_error_to_string e)
 
+let monotone_column ?path t name =
+  match column t name with
+  | exception Not_found ->
+      Error
+        {
+          path;
+          line = None;
+          message = Printf.sprintf "axis column %S not present" name;
+        }
+  | xs ->
+      let rec walk i =
+        if i >= Array.length xs then Ok ()
+        else if xs.(i) > xs.(i - 1) then walk (i + 1)
+        else
+          Error
+            {
+              path;
+              line = None;
+              message =
+                Printf.sprintf
+                  "axis column %S not strictly increasing at data row %d: %g \
+                   after %g"
+                  name (i + 1) xs.(i)
+                  xs.(i - 1);
+            }
+      in
+      if Array.length xs = 0 then Ok () else walk 1
+
+let read_strict ~path ~axes =
+  match read_result ~path with
+  | Error _ as err -> err
+  | Ok t ->
+      let rec check = function
+        | [] -> Ok t
+        | axis :: rest -> begin
+            match monotone_column ~path t axis with
+            | Ok () -> check rest
+            | Error _ as err -> err
+          end
+      in
+      check axes
+
 let sort_by t name =
   let i = column_index t name in
   let rows = Array.copy t.rows in

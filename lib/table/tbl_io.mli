@@ -49,5 +49,19 @@ val read_result : path:string -> (table, read_error) result
 (** Non-raising {!read}: unreadable files and parse failures come back as
     a typed {!read_error}. *)
 
+val monotone_column :
+  ?path:string -> table -> string -> (unit, read_error) result
+(** Strict-monotonicity check of an axis column: [Error] (with the first
+    offending row in the message) when the column is missing, has duplicate
+    abscissae or decreases — exactly the defects the preflight linter's
+    [T003] code reports, so the linter and the runtime can never disagree.
+    [path] only labels the error. *)
+
+val read_strict :
+  path:string -> axes:string list -> (table, read_error) result
+(** {!read_result} plus {!monotone_column} on each named axis — the loading
+    path for tables whose columns feed spline knots (e.g.
+    [perf_model.tbl]'s [gain] axis in [Flow.load_models]). *)
+
 val sort_by : table -> string -> table
 (** Rows sorted ascending on the named column. *)

@@ -16,4 +16,5 @@ let () =
          T_behavioural.suites;
          T_core.suites;
          T_resilience.suites;
+         T_analyse.suites;
        ])
