@@ -17,9 +17,7 @@ module Filter = Yield_circuits.Filter
 module Config = Yield_core.Config
 module Flow = Yield_core.Flow
 module Report = Yield_core.Report
-module Experiments = Yield_core.Experiments
 module Perf_model = Yield_behavioural.Perf_model
-module Var_model = Yield_behavioural.Var_model
 module Macromodel = Yield_behavioural.Macromodel
 module Yield_target = Yield_behavioural.Yield_target
 module Variation = Yield_process.Variation
@@ -29,7 +27,6 @@ module Tech = Yield_process.Tech
 module Wbga = Yield_ga.Wbga
 module Ga = Yield_ga.Ga
 module Rng = Yield_stats.Rng
-module Circuit = Yield_spice.Circuit
 module Dcop = Yield_spice.Dcop
 module Netlist = Yield_spice.Netlist
 
@@ -39,6 +36,10 @@ module Diagnostic = Yield_analyse.Diagnostic
 module Netlist_lint = Yield_analyse.Netlist_lint
 module Table_lint = Yield_analyse.Table_lint
 module Config_lint = Yield_analyse.Config_lint
+module Ac_tran_lint = Yield_analyse.Ac_tran_lint
+module Va_lint = Yield_analyse.Va_lint
+module Baseline = Yield_analyse.Baseline
+module Sarif = Yield_analyse.Sarif
 
 open Cmdliner
 
@@ -479,14 +480,43 @@ let flow_cmd =
 
 (* ---------- design ---------- *)
 
-let design tables_dir min_gain min_pm =
+(* shared preflight of the table-consuming commands: refuse to run on
+   error-severity findings, pass warnings through on stderr *)
+let model_preflight ?spec ~tables_dir () =
+  let diags = Flow.lint_models ?spec ~dir:tables_dir ~control:"3E" () in
+  if Diagnostic.count Diagnostic.Error diags > 0 then begin
+    prerr_endline (Diagnostic.list_to_text diags);
+    prerr_endline
+      "preflight found errors in the saved models — fix them or pass \
+       --no-preflight";
+    false
+  end
+  else begin
+    List.iter
+      (fun d -> prerr_endline ("preflight: " ^ Diagnostic.to_text d))
+      diags;
+    true
+  end
+
+let no_preflight_term =
+  Arg.(
+    value & flag
+    & info [ "no-preflight" ]
+        ~doc:
+          "skip the static analysis of the saved model tables (and the \
+           module they imply) that otherwise aborts on error-severity \
+           findings")
+
+let design tables_dir min_gain min_pm no_preflight =
+  let spec = { Yield_target.min_gain_db = min_gain; min_pm_deg = min_pm } in
+  if (not no_preflight) && not (model_preflight ~spec ~tables_dir ()) then 2
+  else
   match Flow.load_models ~dir:tables_dir ~control:"3E" with
   | exception Sys_error e ->
       prerr_endline ("cannot load tables: " ^ e);
       1
   | perf, var -> begin
       let model = Macromodel.create perf var in
-      let spec = { Yield_target.min_gain_db = min_gain; min_pm_deg = min_pm } in
       match Yield_target.plan model spec with
       | Error e ->
           prerr_endline e;
@@ -519,7 +549,9 @@ let design_cmd =
   in
   obs_cmd
     (Cmd.info "design" ~doc:"yield-targeted design query against saved tables")
-    Term.(const (fun d g p () -> design d g p) $ tables_dir_term $ gain $ pm)
+    Term.(
+      const (fun d g p n () -> design d g p n)
+      $ tables_dir_term $ gain $ pm $ no_preflight_term)
 
 (* ---------- filter ---------- *)
 
@@ -635,13 +667,16 @@ let sensitivity_cmd =
 
 (* ---------- export-va ---------- *)
 
-let export_va tables_dir out_dir =
+let export_va tables_dir out_dir no_preflight =
+  if (not no_preflight) && not (model_preflight ~tables_dir ()) then 2
+  else
   match Flow.load_models ~dir:tables_dir ~control:"3E" with
   | exception Sys_error e ->
       prerr_endline ("cannot load tables: " ^ e);
       1
   | perf, var ->
       let model = Macromodel.create perf var in
+      Yield_resilience.Atomic_io.mkdir_p out_dir;
       let written = Yield_behavioural.Verilog_a.save model ~dir:out_dir in
       List.iter (Printf.printf "wrote %s\n") written;
       0
@@ -653,7 +688,9 @@ let export_va_cmd =
   obs_cmd
     (Cmd.info "export-va"
        ~doc:"emit the Verilog-A behavioural module and its table files")
-    Term.(const (fun t o () -> export_va t o) $ tables_dir_term $ out_dir)
+    Term.(
+      const (fun t o n () -> export_va t o n)
+      $ tables_dir_term $ out_dir $ no_preflight_term)
 
 (* ---------- netlist ---------- *)
 
@@ -746,24 +783,94 @@ let json_flag =
           "print findings as one JSON object on stdout instead of text \
            (stable shape: findings array + severity counts + worst)")
 
-(* common tail of every lint subcommand: render, then exit by worst
-   severity (2 = errors, 1 = warnings only, 0 = clean or info-only) *)
-let report_diags ~json diags =
-  if json then
-    print_endline (Yield_obs.Json.to_string (Diagnostic.list_to_json diags))
-  else print_endline (Diagnostic.list_to_text diags);
-  Diagnostic.exit_code diags
+let sarif_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sarif" ] ~docv:"FILE"
+        ~doc:
+          "also write the findings (including baseline-suppressed ones, \
+           marked with SARIF suppressions) as a SARIF 2.1.0 log to FILE")
+
+let baseline_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "suppress findings whose fingerprints appear in the baseline \
+           FILE; the exit code counts only fresh findings")
+
+let write_baseline_term =
+  Arg.(
+    value & flag
+    & info [ "write-baseline" ]
+        ~doc:
+          "write the current findings' fingerprints to the $(b,--baseline) \
+           FILE (accepting them as known) and exit 0")
+
+(* common tail of every lint subcommand: apply the baseline, render text or
+   JSON, optionally emit SARIF, then exit by worst *fresh* severity
+   (2 = errors, 1 = warnings only, 0 = clean or info-only) *)
+let report_diags ?sarif ?baseline ?(write_baseline = false) ~json diags =
+  let baselined =
+    match (baseline, write_baseline) with
+    | None, true ->
+        Error "--write-baseline needs --baseline FILE to know where to write"
+    | None, false -> Ok (diags, [], false)
+    | Some path, true ->
+        let b = Baseline.of_diags diags in
+        Baseline.save ~path b;
+        Printf.eprintf "wrote baseline %s (%d fingerprint(s))\n" path
+          (List.length (Baseline.fingerprints b));
+        Ok (diags, [], true)
+    | Some path, false -> begin
+        match Baseline.load ~path with
+        | Error msg -> Error ("cannot load baseline: " ^ msg)
+        | Ok b ->
+            let fresh, suppressed = Baseline.partition b diags in
+            Ok (fresh, suppressed, false)
+      end
+  in
+  match baselined with
+  | Error msg ->
+      prerr_endline msg;
+      2
+  | Ok (fresh, suppressed, accepted) ->
+      Option.iter (fun path -> Sarif.save ~path ~suppressed fresh) sarif;
+      if json then begin
+        let body =
+          match Diagnostic.list_to_json fresh with
+          | Yield_obs.Json.Obj fields when suppressed <> [] ->
+              Yield_obs.Json.Obj
+                (fields
+                @ [ ("suppressed", Yield_obs.Json.Int (List.length suppressed)) ])
+          | other -> other
+        in
+        print_endline (Yield_obs.Json.to_string body)
+      end
+      else begin
+        print_endline (Diagnostic.list_to_text fresh);
+        if suppressed <> [] then
+          Printf.printf "%d finding(s) suppressed by baseline\n"
+            (List.length suppressed)
+      end;
+      if accepted then 0 else Diagnostic.exit_code fresh
 
 let pairs_of_topology = function
   | `None -> []
   | `Ota -> Ota.symmetric_pairs
   | `Miller -> Yield_circuits.Miller.symmetric_pairs
 
-let lint_netlist json topology files =
+let lint_netlist json sarif baseline write_baseline topology files =
   let pairs = pairs_of_topology topology in
-  report_diags ~json
+  report_diags ?sarif ?baseline ~write_baseline ~json
     (List.concat_map
-       (fun f -> Netlist_lint.check_file ~tech:Tech.c35 ~pairs f)
+       (fun f ->
+         (* N codes (connectivity, device values, topology invariants) plus
+            A/R codes (analysis-card preconditions) in one pass *)
+         Netlist_lint.check_file ~tech:Tech.c35 ~pairs f
+         @ Ac_tran_lint.check_file f)
        files)
 
 let lint_netlist_cmd =
@@ -785,13 +892,16 @@ let lint_netlist_cmd =
     (Cmd.info "netlist"
        ~doc:
          "lint netlists: connectivity (floating nodes, no-DC-path, \
-          voltage-source loops), device values, topology invariants")
+          voltage-source loops), device values, topology invariants, and \
+          .ac/.tran analysis-card preconditions (reachability, interval \
+          time-constant bounds)")
     Term.(
-      const (fun j t fs () -> lint_netlist j t fs)
-      $ json_flag $ topology $ files)
+      const (fun j s b w t fs () -> lint_netlist j s b w t fs)
+      $ json_flag $ sarif_term $ baseline_term $ write_baseline_term
+      $ topology $ files)
 
-let lint_tbl json axes control files =
-  report_diags ~json
+let lint_tbl json sarif baseline write_baseline axes control files =
+  report_diags ?sarif ?baseline ~write_baseline ~json
     (List.concat_map (fun f -> Table_lint.check_file ?axes ?control f) files)
 
 let lint_tbl_cmd =
@@ -824,10 +934,12 @@ let lint_tbl_cmd =
          "lint .tbl table models: monotone axes, NaN/Inf cells, control \
           string consistency")
     Term.(
-      const (fun j a c fs () -> lint_tbl j a c fs)
-      $ json_flag $ axes $ control $ files)
+      const (fun j s b w a c fs () -> lint_tbl j s b w a c fs)
+      $ json_flag $ sarif_term $ baseline_term $ write_baseline_term
+      $ axes $ control $ files)
 
-let lint_config json fast checkpoint_dir resume fault_spec_check =
+let lint_config json sarif baseline write_baseline fast checkpoint_dir resume
+    fault_spec_check =
   let config = if fast then Config.fast_scale else Config.paper_scale in
   let view =
     {
@@ -846,7 +958,7 @@ let lint_config json fast checkpoint_dir resume fault_spec_check =
     | None -> []
     | Some spec -> Config_lint.check_fault_spec spec
   in
-  report_diags ~json (diags @ fault_diags)
+  report_diags ?sarif ?baseline ~write_baseline ~json (diags @ fault_diags)
 
 let lint_config_cmd =
   let fast =
@@ -885,16 +997,82 @@ let lint_config_cmd =
          "preflight the flow configuration: scale cross-checks, checkpoint \
           fingerprint dry-run, fault-spec validation")
     Term.(
-      const (fun j f c r s () -> lint_config j f c r s)
-      $ json_flag $ fast $ checkpoint_dir $ resume $ fault_spec_check)
+      const (fun j sa b w f c r s () -> lint_config j sa b w f c r s)
+      $ json_flag $ sarif_term $ baseline_term $ write_baseline_term
+      $ fast $ checkpoint_dir $ resume $ fault_spec_check)
+
+let window_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ a; b ] -> begin
+        match (float_of_string_opt a, float_of_string_opt b) with
+        | Some lo, Some hi -> Ok (lo, hi)
+        | _ -> Error (`Msg "expected LO,HI (two numbers)")
+      end
+    | _ -> Error (`Msg "expected LO,HI (two numbers)")
+  in
+  let print ppf (lo, hi) = Format.fprintf ppf "%g,%g" lo hi in
+  Arg.conv (parse, print)
+
+let lint_va json sarif baseline write_baseline dir gain_window pm_window files =
+  let specs =
+    (match gain_window with Some w -> [ ("gain", w) ] | None -> [])
+    @ (match pm_window with Some w -> [ ("pm", w) ] | None -> [])
+  in
+  let specs = match specs with [] -> None | l -> Some l in
+  report_diags ?sarif ?baseline ~write_baseline ~json
+    (List.concat_map (fun f -> Va_lint.check_file ?dir ?specs f) files)
+
+let lint_va_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Verilog-A file(s) to lint")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "directory holding the referenced .tbl files (default: each \
+             file's own directory)")
+  in
+  let gain_window =
+    Arg.(
+      value
+      & opt (some window_conv) None
+      & info [ "spec-gain" ] ~docv:"LO,HI"
+          ~doc:
+            "gain window (dB) the model must serve; the interval evaluation \
+             proves the inflated window stays inside the table domains")
+  in
+  let pm_window =
+    Arg.(
+      value
+      & opt (some window_conv) None
+      & info [ "spec-pm" ] ~docv:"LO,HI"
+          ~doc:"phase-margin window (deg) the model must serve")
+  in
+  obs_cmd
+    (Cmd.info "va"
+       ~doc:
+         "lint Verilog-A behavioural modules: ports and disciplines, \
+          $table_model shape and control strings, referenced .tbl files, \
+          use-before-assign, interval spec-window coverage")
+    Term.(
+      const (fun j s b w d g p fs () -> lint_va j s b w d g p fs)
+      $ json_flag $ sarif_term $ baseline_term $ write_baseline_term
+      $ dir $ gain_window $ pm_window $ files)
 
 let lint_cmd =
   Cmd.group
     (Cmd.info "lint"
        ~doc:
          "preflight static analysis: diagnostics with stable codes \
-          (N/T/C/F), text or JSON output, worst-severity exit code")
-    [ lint_netlist_cmd; lint_tbl_cmd; lint_config_cmd ]
+          (N/T/C/F/A/R/V), text, JSON or SARIF output, baseline \
+          suppression, worst-severity exit code")
+    [ lint_netlist_cmd; lint_tbl_cmd; lint_config_cmd; lint_va_cmd ]
 
 (* ---------- main ---------- *)
 

@@ -86,6 +86,7 @@ let to_json d =
 let list_to_json diags =
   Json.Obj
     [
+      ("version", Json.Int 1);
       ("findings", Json.List (List.map to_json (sort diags)));
       ("errors", Json.Int (count Error diags));
       ("warnings", Json.Int (count Warning diags));

@@ -48,5 +48,7 @@ val list_to_text : t list -> string
 val to_json : t -> Yield_obs.Json.t
 
 val list_to_json : t list -> Yield_obs.Json.t
-(** [{"findings": [...], "errors": n, "warnings": n, "infos": n,
-    "worst": "error"|"warning"|"info"|null}] with findings sorted. *)
+(** [{"version": 1, "findings": [...], "errors": n, "warnings": n,
+    "infos": n, "worst": "error"|"warning"|"info"|null}] with findings
+    sorted.  The schema is documented in [docs/lint-json-schema.json];
+    [version] is bumped on any incompatible change. *)

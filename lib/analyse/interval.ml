@@ -1,0 +1,137 @@
+(* Outward-rounded interval arithmetic.
+
+   Every arithmetic operation computes in double precision and then widens
+   the result by one ulp on each side (Float.pred / Float.succ), so the
+   returned interval always encloses the exact real result even though the
+   intermediate rounding mode is round-to-nearest.  That makes "provably"
+   claims in lint messages sound: if [contains i x] is false for an
+   outward-rounded [i], no real evaluation of the modelled quantity can
+   equal [x]. *)
+
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: [%g, %g]" lo hi)
+  else { lo; hi }
+
+let point x = make x x
+
+let whole = { lo = neg_infinity; hi = infinity }
+
+let zero = point 0.
+
+let of_bounds a b = if a <= b then make a b else make b a
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let hull_list = function
+  | [] -> invalid_arg "Interval.hull_list: empty"
+  | i :: rest -> List.fold_left hull i rest
+
+let is_point i = i.lo = i.hi
+
+let width i = i.hi -. i.lo
+
+let contains i x = i.lo <= x && x <= i.hi
+
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+
+let disjoint a b = a.hi < b.lo || b.hi < a.lo
+
+let intersect a b =
+  if disjoint a b then None
+  else Some { lo = Float.max a.lo b.lo; hi = Float.min a.hi b.hi }
+
+(* one-ulp outward widening; infinities stay put *)
+let down x = if Float.is_finite x then Float.pred x else x
+
+let up x = if Float.is_finite x then Float.succ x else x
+
+let out lo hi = { lo = down lo; hi = up hi }
+
+let add a b = out (a.lo +. b.lo) (a.hi +. b.hi)
+
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let sub a b = add a (neg b)
+
+(* 0 * inf arises when a zero bound meets an unbounded one; the convention
+   0 * inf = 0 keeps the product an enclosure (the zero factor is exact) *)
+let prod x y =
+  let p = x *. y in
+  if Float.is_nan p then 0. else p
+
+let mul a b =
+  let p1 = prod a.lo b.lo and p2 = prod a.lo b.hi in
+  let p3 = prod a.hi b.lo and p4 = prod a.hi b.hi in
+  out
+    (Float.min (Float.min p1 p2) (Float.min p3 p4))
+    (Float.max (Float.max p1 p2) (Float.max p3 p4))
+
+let inv a =
+  if a.lo = 0. && a.hi = 0. then whole
+  else if a.lo > 0. || a.hi < 0. then out (1. /. a.hi) (1. /. a.lo)
+  else if a.lo = 0. then out (1. /. a.hi) infinity
+  else if a.hi = 0. then out neg_infinity (1. /. a.lo)
+  else whole
+
+let div a b = mul a (inv b)
+
+let scale k a = mul (point k) a
+
+let offset k a = add (point k) a
+
+let to_string i =
+  if is_point i then Printf.sprintf "%g" i.lo
+  else Printf.sprintf "[%g, %g]" i.lo i.hi
+
+(* ---------- dataflow driver ---------- *)
+
+module Fixpoint = struct
+  type 'a edge = { src : int; dst : int; f : 'a -> 'a }
+
+  let edge ?f src dst =
+    { src; dst; f = (match f with Some f -> f | None -> Fun.id) }
+
+  let solve ~size ~edges ~init ~join ~equal =
+    if Array.length init <> size then
+      invalid_arg "Interval.Fixpoint.solve: init size mismatch";
+    let state = Array.copy init in
+    let out_edges = Array.make size [] in
+    List.iter
+      (fun e ->
+        if e.src < 0 || e.src >= size || e.dst < 0 || e.dst >= size then
+          invalid_arg "Interval.Fixpoint.solve: edge endpoint out of range";
+        out_edges.(e.src) <- e :: out_edges.(e.src))
+      edges;
+    let on_queue = Array.make size true in
+    let q = Queue.create () in
+    for i = 0 to size - 1 do
+      Queue.add i q
+    done;
+    while not (Queue.is_empty q) do
+      let i = Queue.pop q in
+      on_queue.(i) <- false;
+      List.iter
+        (fun e ->
+          let v = join state.(e.dst) (e.f state.(i)) in
+          if not (equal v state.(e.dst)) then begin
+            state.(e.dst) <- v;
+            if not on_queue.(e.dst) then begin
+              on_queue.(e.dst) <- true;
+              Queue.add e.dst q
+            end
+          end)
+        out_edges.(i)
+    done;
+    state
+
+  let reachable ~size ~edges ~seeds =
+    let init = Array.make size false in
+    List.iter
+      (fun s ->
+        if s >= 0 && s < size then init.(s) <- true)
+      seeds;
+    solve ~size ~edges ~init ~join:( || ) ~equal:Bool.equal
+end

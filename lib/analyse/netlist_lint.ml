@@ -14,6 +14,13 @@ let structural ?file circuit =
           diag ?file ~code:"N002" ~severity:Diagnostic.Error ~subject:node
             (Topology.issue_to_string issue
             ^ " — the MNA system is singular; Dcop will fail")
+      | Topology.No_ac_path { node } ->
+          (* dc_issues never produces this (AC edges are a superset of DC
+             edges, so an AC-floating node is DC-floating too and reported
+             as N002); keep the match exhaustive for the strict build *)
+          diag ?file ~code:"N002" ~severity:Diagnostic.Error ~subject:node
+            (Topology.issue_to_string issue
+            ^ " — the MNA system is singular; Dcop will fail")
       | Topology.Vsource_loop { through } ->
           diag ?file ~code:"N003" ~severity:Diagnostic.Error ~subject:through
             (Topology.issue_to_string issue

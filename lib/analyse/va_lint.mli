@@ -1,0 +1,46 @@
+(** Verilog-A module lint over the {!Yield_behavioural.Verilog_a} AST.
+
+    Codes:
+    - [V000] (error)   unreadable or unparseable [.va] file
+    - [V001] (error)   port/direction/discipline inconsistency (missing
+                       discipline on a port is a warning)
+    - [V002] (error)   malformed [$table_model] call shape
+    - [V003] (error)   control string that {!Yield_table.Control.parse}
+                       rejects
+    - [V004] (error)   query arity disagreeing with the control token count
+    - [V005] (error)   referenced [.tbl] missing, malformed, or with too few
+                       columns for the call's arity (readable tables also
+                       get the full {!Table_lint} pass, reported under their
+                       own [T] codes against the table path)
+    - [V006] (warning) a query window that the interval evaluation cannot
+                       prove inside the sampled axis domain, under an ["E"]
+                       (reject out-of-range) control policy
+    - [V007] (error)   identifier read before assignment, read or assigned
+                       without declaration, or a parameter assigned
+    - [V008] (warning) variable declared but never read
+
+    [V006] runs a small abstract interpretation of the analog block:
+    parameters start at their spec window ([specs]) or declared default,
+    assignments propagate outward-rounded intervals ({!Interval}), and
+    [$table_model] results are approximated by the hull of the sampled
+    output column.  The emitted module re-ingested with the windows it was
+    built for lints clean. *)
+
+val check :
+  ?file:string ->
+  ?dir:string ->
+  ?specs:(string * (float * float)) list ->
+  Yield_behavioural.Verilog_a.source ->
+  Diagnostic.t list
+(** [dir] is where referenced [.tbl] files live; without it, table-content
+    checks (V005/V006 and the T pass) are skipped.  [specs] maps parameter
+    names to the [lo, hi] window the model must serve (e.g.
+    [("gain", (50., 60.))]). *)
+
+val check_file :
+  ?dir:string ->
+  ?specs:(string * (float * float)) list ->
+  string ->
+  Diagnostic.t list
+(** Read, parse and {!check} one [.va] file; [dir] defaults to the file's
+    directory. *)

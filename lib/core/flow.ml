@@ -16,6 +16,8 @@ module Checkpoint = Yield_resilience.Checkpoint
 module Diagnostic = Yield_analyse.Diagnostic
 module Config_lint = Yield_analyse.Config_lint
 module Netlist_lint = Yield_analyse.Netlist_lint
+module Table_lint = Yield_analyse.Table_lint
+module Va_lint = Yield_analyse.Va_lint
 
 (* the flow's public accounting is derived from the metrics registry: the
    same counters every sink exports ("wbga.evaluations" is the one [Wbga]
@@ -98,6 +100,47 @@ let load_models ~dir ~control =
          ~path:(Filename.concat dir "variation_model.tbl"))
   in
   (perf, var)
+
+(* preflight for the table-consuming entry points (design / export-va):
+   everything [load_models] would die on, plus what it would silently
+   accept and then answer badly.  The perf table is linted with the same
+   strict gain axis [load_models] enforces; the variation table with no
+   axis constraint, matching the tolerant [Tbl_io.read] path.  [spec]
+   additionally runs the T007 coverage check, and the Verilog-A module
+   that [export-va] would emit with this control is linted structurally. *)
+let lint_models ?spec ~dir ~control () =
+  let perf_path = Filename.concat dir "perf_model.tbl" in
+  let var_path = Filename.concat dir "variation_model.tbl" in
+  let column_range table_path column =
+    match Yield_table.Tbl_io.read_result ~path:table_path with
+    | Error _ -> None (* already a T001 from check_file *)
+    | Ok t -> begin
+        match Yield_table.Tbl_io.column_opt t column with
+        | Some xs when Array.length xs > 0 ->
+            Some
+              ( Array.fold_left Float.min xs.(0) xs,
+                Array.fold_left Float.max xs.(0) xs )
+        | Some _ | None -> None
+      end
+  in
+  let coverage =
+    match spec with
+    | None -> []
+    | Some (s : Yield_target.spec) ->
+        let against table_path column query =
+          match column_range table_path column with
+          | None -> []
+          | Some (lo, hi) ->
+              Table_lint.spec_coverage ~file:table_path ~control ~axis:column
+                ~lo ~hi ~query ()
+        in
+        against perf_path "gain" s.Yield_target.min_gain_db
+        @ against var_path "pm" s.Yield_target.min_pm_deg
+  in
+  Table_lint.check_file ~axes:[ "gain" ] ~control perf_path
+  @ Table_lint.check_file ~axes:[] var_path
+  @ coverage
+  @ Va_lint.check (Yield_behavioural.Verilog_a.module_ast ~control ())
 
 (* ---------- checkpoint codecs for the flow's stage payloads ---------- *)
 

@@ -95,6 +95,17 @@ val load_models :
   dir:string -> control:string ->
   Yield_behavioural.Perf_model.t * Yield_behavioural.Var_model.t
 
+val lint_models :
+  ?spec:Yield_behavioural.Yield_target.spec ->
+  dir:string -> control:string -> unit -> Yield_analyse.Diagnostic.t list
+(** Preflight for {!load_models} consumers ([yieldlab design] /
+    [yieldlab export-va]): the perf table under the same strict gain axis
+    {!load_models} enforces, the variation table under the tolerant read it
+    actually gets, [spec]-window coverage (T007) against both tables, and a
+    structural {!Yield_analyse.Va_lint} pass over the Verilog-A module that
+    would be emitted with [control].  Error-severity findings predict a
+    {!load_models} failure or a runtime rejection. *)
+
 (** The same pipeline for any {!Yield_circuits.Amplifier.S} topology
     ([run] above is [Make (Ota)]): note that [Config.conditions] should be
     adapted to the topology (e.g. the Miller stage wants a lower

@@ -3,11 +3,23 @@ module Fault = Yield_resilience.Fault
 
 type bode = { freqs : float array; response : Complex.t array }
 
+exception Singular of string
+
 (* [ac.solve] fault: the transfer comes back all-NaN, which every measure
    downstream maps to a failed (not crashed) evaluation *)
 let fp_solve = Fault.point "ac.solve"
 
+(* mirror of the Dcop.solve structural pre-check: a node the AC matrix
+   cannot constrain at any frequency makes [G + jwC] singular independent
+   of device values, so fail loudly instead of returning the gmin-shaped
+   garbage a nearly-singular factorisation would produce *)
+let precheck circuit =
+  match Topology.ac_issues circuit with
+  | [] -> ()
+  | issue :: _ -> raise (Singular (Topology.issue_to_string issue))
+
 let system circuit (op : Dcop.t) =
+  precheck circuit;
   let ops name = Dcop.mos_op op name in
   Mna.assemble_ac circuit op.Dcop.layout ~ops
 

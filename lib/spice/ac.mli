@@ -5,6 +5,12 @@ type bode = {
   response : Complex.t array;  (** complex transfer values, same length *)
 }
 
+exception Singular of string
+(** Raised by {!solve_at} and {!transfer} when {!Topology.ac_issues} finds a
+    structural singularity — a node [G + jwC] cannot constrain at any
+    frequency, or a loop of voltage sources — before anything is
+    assembled.  Mirrors the {!Dcop.solve} pre-check. *)
+
 val solve_at : Circuit.t -> Dcop.t -> freq:float -> Complex.t array
 (** Full small-signal solution vector at one frequency. *)
 

@@ -1,10 +1,13 @@
 type issue =
   | No_dc_path of { node : string }
+  | No_ac_path of { node : string }
   | Vsource_loop of { through : string }
 
 let issue_to_string = function
   | No_dc_path { node } ->
       Printf.sprintf "node %s has no DC path to ground" node
+  | No_ac_path { node } ->
+      Printf.sprintf "node %s has no AC path to ground" node
   | Vsource_loop { through } ->
       Printf.sprintf "voltage source %s closes a loop of voltage sources"
         through
@@ -30,6 +33,19 @@ let conductive_edges = function
   | Device.Mosfet { d; s; _ } -> [ (d, s) ]
   | Device.Capacitor _ | Device.Isource _ | Device.Vccs _ -> []
 
+(* AC-conductive edges: at nonzero frequency capacitors conduct, and the MOS
+   gate and bulk couple into the channel through the intrinsic/overlap and
+   junction capacitance stamps.  Current sources still pin nothing, and a
+   VCCS constrains neither of its own terminal voltages (its stamps sit in
+   other rows/columns), so neither contributes an edge. *)
+let ac_conductive_edges = function
+  | Device.Resistor { n1; n2; _ } | Device.Capacitor { n1; n2; _ } ->
+      [ (n1, n2) ]
+  | Device.Vsource { npos; nneg; _ } -> [ (npos, nneg) ]
+  | Device.Mosfet { d; g; s; b; _ } ->
+      [ (d, s); (g, d); (g, s); (b, d); (b, s) ]
+  | Device.Isource _ | Device.Vccs _ -> []
+
 let referenced_nodes circuit =
   let seen = Hashtbl.create 32 in
   Array.iter
@@ -40,14 +56,14 @@ let referenced_nodes circuit =
     (Circuit.devices circuit);
   seen
 
-let dc_issues circuit =
+let issues_with ~edges ~unreachable circuit =
   let n = Circuit.node_count circuit + 1 in
   let parent = Array.init n Fun.id in
   let vparent = Array.init n Fun.id in
   let loops = ref [] in
   Array.iter
     (fun dev ->
-      List.iter (fun (a, b) -> union parent a b) (conductive_edges dev);
+      List.iter (fun (a, b) -> union parent a b) (edges dev);
       match dev with
       | Device.Vsource { name; npos; nneg; _ } ->
           if find vparent npos = find vparent nneg then
@@ -60,10 +76,19 @@ let dc_issues circuit =
   let floating = ref [] in
   for node = n - 1 downto 1 do
     if Hashtbl.mem referenced node && find parent node <> ground_root then
-      floating :=
-        No_dc_path { node = Circuit.node_name circuit node } :: !floating
+      floating := unreachable (Circuit.node_name circuit node) :: !floating
   done;
   List.rev !loops @ !floating
+
+let dc_issues circuit =
+  issues_with ~edges:conductive_edges
+    ~unreachable:(fun node -> No_dc_path { node })
+    circuit
+
+let ac_issues circuit =
+  issues_with ~edges:ac_conductive_edges
+    ~unreachable:(fun node -> No_ac_path { node })
+    circuit
 
 let dangling_nodes circuit =
   let n = Circuit.node_count circuit + 1 in

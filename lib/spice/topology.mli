@@ -14,6 +14,10 @@ type issue =
   | No_dc_path of { node : string }
       (** the node is not connected to ground through any DC-conductive
           device (resistor, voltage source, MOSFET channel) *)
+  | No_ac_path of { node : string }
+      (** the node is not connected to ground through any AC-conductive
+          device — capacitors conduct here, so this is strictly rarer than
+          {!No_dc_path} *)
   | Vsource_loop of { through : string }
       (** adding this voltage source's branch closes a loop of voltage
           sources *)
@@ -25,6 +29,13 @@ val dc_issues : Circuit.t -> issue list
     loops in device order, then unreachable nodes in node order.  Only nodes
     referenced by at least one device terminal are considered ([.nodeset]
     hints may intern extra names). *)
+
+val ac_issues : Circuit.t -> issue list
+(** The same analysis with the AC edge set (capacitors conduct; the MOS
+    gate and bulk couple capacitively into the channel): nodes the
+    small-signal matrix [G + jwC] cannot constrain at any frequency, plus
+    voltage-source loops.  {!Ac.transfer} and {!Ac.solve_at} consult this
+    before assembling anything, mirroring the {!Dcop.solve} pre-check. *)
 
 val dangling_nodes : Circuit.t -> (string * string) list
 (** Nodes referenced by exactly one device terminal, as

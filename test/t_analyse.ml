@@ -69,7 +69,7 @@ let test_json_golden () =
   in
   Alcotest.(check string)
     "list_to_json"
-    "{\"findings\":[{\"code\":\"T003\",\"severity\":\"error\",\"subject\":\"gain\",\"message\":\"duplicate abscissa\",\"file\":\"m.tbl\",\"line\":3},{\"code\":\"N001\",\"severity\":\"warning\",\"subject\":\"nx\",\"message\":\"msg\",\"file\":null,\"line\":null}],\"errors\":1,\"warnings\":1,\"infos\":0,\"worst\":\"error\"}"
+    "{\"version\":1,\"findings\":[{\"code\":\"T003\",\"severity\":\"error\",\"subject\":\"gain\",\"message\":\"duplicate abscissa\",\"file\":\"m.tbl\",\"line\":3},{\"code\":\"N001\",\"severity\":\"warning\",\"subject\":\"nx\",\"message\":\"msg\",\"file\":null,\"line\":null}],\"errors\":1,\"warnings\":1,\"infos\":0,\"worst\":\"error\"}"
     (Yield_obs.Json.to_string (Diagnostic.list_to_json diags))
 
 (* ---------- netlist lint <-> Dcop contract ---------- *)

@@ -119,6 +119,35 @@ let test_flow_save_load_tables () =
       Alcotest.(check int) "perf model reloads" (Perf_model.size f.Flow.perf_model)
         (Perf_model.size perf))
 
+let test_flow_lint_models () =
+  (* the saved tables must pass their own preflight, and corrupting the
+     perf table's axis ordering must surface as an error-severity finding —
+     the same failure load_models would hit *)
+  let f = Lazy.force flow in
+  let dir = Filename.temp_file "yieldlab" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      ignore (Flow.save_tables f ~dir);
+      let diags = Flow.lint_models ~dir ~control:"3E" () in
+      Alcotest.(check int) "saved tables preflight clean" 0
+        (Yield_analyse.Diagnostic.exit_code diags);
+      let perf = Filename.concat dir "perf_model.tbl" in
+      let lines =
+        In_channel.with_open_text perf In_channel.input_lines
+        |> List.map (fun l ->
+               if String.length l > 0 && l.[0] <> '#' then "0.0 " ^ l else l)
+      in
+      Out_channel.with_open_text perf (fun oc ->
+          List.iter (fun l -> Printf.fprintf oc "%s\n" l) lines);
+      let diags = Flow.lint_models ~dir ~control:"3E" () in
+      Alcotest.(check int) "corrupted perf table is an error" 2
+        (Yield_analyse.Diagnostic.exit_code diags))
+
 let test_flow_deterministic () =
   let a = Flow.run smoke_config and b = Flow.run smoke_config in
   let pa = Perf_model.points a.Flow.perf_model in
@@ -241,6 +270,7 @@ let suites =
         Alcotest.test_case "spec and plan" `Slow test_flow_spec_and_plan;
         Alcotest.test_case "verify design" `Slow test_flow_verify_design;
         Alcotest.test_case "save/load tables" `Slow test_flow_save_load_tables;
+        Alcotest.test_case "lint saved tables" `Slow test_flow_lint_models;
         Alcotest.test_case "deterministic" `Slow test_flow_deterministic;
         Alcotest.test_case "functor on miller" `Slow test_flow_functor_miller;
       ] );

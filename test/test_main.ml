@@ -17,4 +17,5 @@ let () =
          T_core.suites;
          T_resilience.suites;
          T_analyse.suites;
+         T_analyse2.suites;
        ])
