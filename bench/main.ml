@@ -35,7 +35,60 @@ module Histogram = Yield_obs.Histogram
    counts and the instrument snapshot, so the perf trajectory is diffable
    across PRs (the JSON schema is documented in README.md §Telemetry). *)
 
-let write_bench_json ctx ~path =
+(* Jobs-sweep mode (YIELDLAB_JOBS_SWEEP="1,2,4"): re-run the flow at each
+   jobs value and record the flow.wbga wall-clock and its speedup over the
+   serial run, so a perf regression gate can be built on BENCH_flow.json. *)
+
+let parse_jobs_sweep s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun tok -> int_of_string_opt (String.trim tok))
+  |> List.filter (fun n -> n >= 1)
+
+let jobs_sweep config =
+  match Sys.getenv_opt "YIELDLAB_JOBS_SWEEP" with
+  | None | Some "" -> []
+  | Some s ->
+      let jobs_list = parse_jobs_sweep s in
+      if jobs_list = [] then []
+      else begin
+        print_string (Report.section "Jobs sweep: flow.wbga scaling");
+        let runs =
+          List.map
+            (fun jobs ->
+              let flow = Flow.run { config with Config.jobs } in
+              Printf.printf "  jobs %d: wbga %.2f s, mc %.2f s, total %.2f s\n%!"
+                jobs flow.Flow.timings.Flow.optimisation_s
+                flow.Flow.timings.Flow.mc_s flow.Flow.timings.Flow.total_s;
+              (jobs, flow.Flow.timings))
+            jobs_list
+        in
+        let serial_wbga_s =
+          Option.map
+            (fun (t : Flow.timings) -> t.Flow.optimisation_s)
+            (List.assoc_opt 1 runs)
+        in
+        List.map
+          (fun (jobs, (t : Flow.timings)) ->
+            let speedup =
+              match serial_wbga_s with
+              | Some s when t.Flow.optimisation_s > 0. ->
+                  let x = s /. t.Flow.optimisation_s in
+                  Printf.printf "  jobs %d: flow.wbga speedup %.2fx\n%!" jobs x;
+                  Json.Float x
+              | Some _ | None -> Json.Null
+            in
+            Json.Obj
+              [
+                ("jobs", Json.Int jobs);
+                ("wbga_s", Json.Float t.Flow.optimisation_s);
+                ("mc_s", Json.Float t.Flow.mc_s);
+                ("total_s", Json.Float t.Flow.total_s);
+                ("wbga_speedup", speedup);
+              ])
+          runs
+      end
+
+let write_bench_json ?(sweep = []) ctx ~path =
   let flow = ctx.Experiments.flow in
   let t = flow.Flow.timings in
   let c = flow.Flow.counts in
@@ -54,8 +107,9 @@ let write_bench_json ctx ~path =
   in
   let json =
     Json.Obj
-      [
+      ([
         ("scale", Json.String (Config.scale_name ctx.Experiments.config));
+        ("jobs", Json.Int ctx.Experiments.config.Config.jobs);
         ( "stage_s",
           Json.Obj
             [
@@ -80,6 +134,7 @@ let write_bench_json ctx ~path =
                (fun (n, s) -> (n, histogram_json s))
                snap.Metrics.histograms) );
       ]
+      @ (if sweep = [] then [] else [ ("jobs_sweep", Json.List sweep) ]))
   in
   Yield_obs.Sink.write_file ~path (Json.to_string json ^ "\n");
   Printf.printf "wrote %s\n%!" path
@@ -655,8 +710,9 @@ let () =
   Printf.printf
     "yieldlab benchmark harness — %s (set YIELDLAB_FAST=1 for a smoke run)\n%!"
     (Config.scale_name config);
+  let sweep = jobs_sweep config in
   let ctx = Experiments.make_context ~log:(Printf.printf "%s\n%!") config in
-  write_bench_json ctx ~path:"BENCH_flow.json";
+  write_bench_json ~sweep ctx ~path:"BENCH_flow.json";
   (* CI uses this to produce the BENCH_flow.json artifact without paying for
      the full experiment/ablation suite *)
   (match Sys.getenv_opt "YIELDLAB_BENCH_FLOW_ONLY" with

@@ -50,6 +50,7 @@ type obs_opts = {
   metrics : string option;
   verbose : bool;
   fault_spec : string option;
+  jobs : int option;
 }
 
 let obs_term =
@@ -89,15 +90,30 @@ let obs_term =
              tbl.write, flow.wbga.generation, flow.mc.point.  Schedules: \
              rate= (with optional seed=), count=, every=, at=")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "evaluate over N domains; every parallel stage (WBGA, front \
+             re-simulation, Monte Carlo) obeys the same setting and results \
+             are identical for any N.  Default: the $(b,YIELDLAB_JOBS) \
+             environment variable, else the recommended domain count; 1 \
+             runs serially")
+  in
   Term.(
-    const (fun trace metrics verbose fault_spec ->
-        { trace; metrics; verbose; fault_spec })
-    $ trace $ metrics $ verbose $ fault_spec)
+    const (fun trace metrics verbose fault_spec jobs ->
+        { trace; metrics; verbose; fault_spec; jobs })
+    $ trace $ metrics $ verbose $ fault_spec $ jobs)
 
 (* run a subcommand under the telemetry options, flushing the sinks on the
    way out (also when the command raises) *)
 let with_obs opts run =
   Obs.set_verbose opts.verbose;
+  (* record the global flag before any subcommand reads the config: every
+     Yield_exec.Jobs.resolve () from here on sees it *)
+  Yield_exec.Jobs.set_requested opts.jobs;
   (match opts.fault_spec with
   | None -> ()
   | Some spec -> begin
@@ -275,8 +291,9 @@ let corners_cmd =
 let mc params samples seed min_gain min_pm =
   let rng = Rng.create seed in
   let outcome =
-    Montecarlo.run_counted ~samples ~rng (fun r ->
-        Tb.evaluate_sampled ~spec:Variation.default_spec ~rng:r params)
+    Yield_exec.Pool.with_pool ~jobs:(Yield_exec.Jobs.resolve ()) (fun pool ->
+        Montecarlo.run_pool_counted ~pool ~samples ~rng (fun r ->
+            Tb.evaluate_sampled ~spec:Variation.default_spec ~rng:r params))
   in
   let results = outcome.Montecarlo.results in
   if Array.length results = 0 then begin
@@ -347,13 +364,14 @@ let optimize population generations seed out =
     | Some _ | None -> None
   in
   let result =
-    Wbga.run ~config ~param_ranges:Ota.param_ranges
-      ~objectives:
-        [|
-          { Wbga.name = "gain"; maximise = true };
-          { Wbga.name = "pm"; maximise = true };
-        |]
-      ~rng:(Rng.create seed) ~evaluate ()
+    Yield_exec.Pool.with_pool ~jobs:(Yield_exec.Jobs.resolve ()) (fun pool ->
+        Wbga.run ~config ~pool ~param_ranges:Ota.param_ranges
+          ~objectives:
+            [|
+              { Wbga.name = "gain"; maximise = true };
+              { Wbga.name = "pm"; maximise = true };
+            |]
+          ~rng:(Rng.create seed) ~evaluate ())
   in
   Printf.printf "%d evaluations, %d infeasible, front %d\n"
     result.Wbga.evaluations result.Wbga.failures
@@ -399,6 +417,7 @@ let optimize_cmd =
 
 let flow fast topology out_dir checkpoint_dir resume no_preflight =
   let config = if fast then Config.fast_scale else Config.paper_scale in
+  let config = { config with Config.jobs = Yield_exec.Jobs.resolve () } in
   let preflight = not no_preflight in
   let flow =
     match topology with
@@ -949,6 +968,7 @@ let lint_config json sarif baseline write_baseline fast checkpoint_dir resume
       front_stride = config.Config.front_stride;
       control = config.Config.control;
       seed = config.Config.seed;
+      jobs = Yield_exec.Jobs.resolve ();
       fingerprint = Config.fingerprint config;
     }
   in

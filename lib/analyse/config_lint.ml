@@ -11,6 +11,7 @@ type view = {
   front_stride : int;
   control : string;
   seed : int;
+  jobs : int;
   fingerprint : string;
 }
 
@@ -69,6 +70,27 @@ let stride_checks v =
     else []
   end
 
+let jobs_checks v =
+  if v.jobs < 1 then
+    [
+      diag ~code:"C006" ~severity:Diagnostic.Error ~subject:"jobs"
+        (Printf.sprintf
+           "jobs must be at least 1 (got %d); 1 means the serial code path"
+           v.jobs);
+    ]
+  else begin
+    let recommended = Domain.recommended_domain_count () in
+    if v.jobs > recommended then
+      [
+        diag ~code:"C006" ~severity:Diagnostic.Warning ~subject:"jobs"
+          (Printf.sprintf
+             "jobs=%d exceeds the recommended domain count %d: the extra \
+              domains will contend for cores rather than add throughput"
+             v.jobs recommended);
+      ]
+    else []
+  end
+
 let control_checks v =
   match Control.parse v.control with
   | _ -> []
@@ -99,7 +121,8 @@ let checkpoint_checks ?checkpoint_dir ?(resume = false) v =
       end
 
 let check ?checkpoint_dir ?resume v =
-  scale_checks v @ mc_checks v @ stride_checks v @ control_checks v
+  scale_checks v @ mc_checks v @ stride_checks v @ jobs_checks v
+  @ control_checks v
   @ checkpoint_checks ?checkpoint_dir ?resume v
 
 let never_fires mode =

@@ -16,6 +16,9 @@
     - [C003] (warning) front_stride so large that two or fewer front points
       can be analysed — the variation model needs at least two
     - [C004] (error) malformed table-model control string
+    - [C006] jobs below 1 (error: there is no zero-domain execution), or
+      above [Domain.recommended_domain_count] (warning: over-subscription
+      contends for cores instead of adding throughput)
     - [C005] checkpoint dry-run: fingerprint mismatch (error), resumable
       state present without [--resume] (info: it will be discarded)
     - [F001] (error) unparseable [--fault-spec]
@@ -30,6 +33,7 @@ type view = {
   front_stride : int;
   control : string;
   seed : int;
+  jobs : int;
   fingerprint : string;
 }
 

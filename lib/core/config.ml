@@ -6,6 +6,7 @@ type t = {
   front_stride : int;
   control : string;
   seed : int;
+  jobs : int;
 }
 
 let paper_scale =
@@ -22,6 +23,7 @@ let paper_scale =
     front_stride = 1;
     control = "3E";
     seed = 2008;
+    jobs = 1;
   }
 
 let fast_scale =
@@ -38,13 +40,18 @@ let fast_scale =
   }
 
 let of_env () =
-  match Sys.getenv_opt "YIELDLAB_FAST" with
-  | Some v when v <> "" && v <> "0" -> fast_scale
-  | Some _ | None -> paper_scale
+  let base =
+    match Sys.getenv_opt "YIELDLAB_FAST" with
+    | Some v when v <> "" && v <> "0" -> fast_scale
+    | Some _ | None -> paper_scale
+  in
+  { base with jobs = Yield_exec.Jobs.resolve () }
 
 let fingerprint t =
   (* everything the checkpointed stages' determinism depends on; resuming
-     under a different fingerprint is refused *)
+     under a different fingerprint is refused.  [jobs] is deliberately
+     absent: results are jobs-independent, so a serial checkpoint may be
+     resumed under a pool and vice versa *)
   Printf.sprintf "v1;seed=%d;pop=%d;gens=%d;mc=%d;stride=%d;control=%s"
     t.seed t.ga.Yield_ga.Ga.population_size t.ga.Yield_ga.Ga.generations
     t.mc_samples t.front_stride t.control

@@ -10,19 +10,27 @@ type t = {
           the paper's setting) *)
   control : string;  (** table-model control string (paper: "3E") *)
   seed : int;
+  jobs : int;
+      (** domain-pool size every parallel stage of {!Flow.run} obeys (WBGA
+          evaluation, Pareto-front re-simulation, Monte Carlo batches);
+          [1] takes the exact serial code path.  Results are
+          jobs-independent, so [jobs] is excluded from {!fingerprint}. *)
 }
 
 val paper_scale : t
 (** The paper's §4 settings: population 100 x 100 generations (10,000
-    evaluation samples), 200 MC samples on every Pareto point. *)
+    evaluation samples), 200 MC samples on every Pareto point.
+    [jobs = 1] (serial): callers opt into parallelism explicitly. *)
 
 val fast_scale : t
 (** Reduced settings for smoke runs: 40 x 25 optimisation, 40 MC samples on
-    every 4th Pareto point. *)
+    every 4th Pareto point.  [jobs = 1], as for {!paper_scale}. *)
 
 val of_env : unit -> t
 (** [paper_scale], or [fast_scale] when the environment variable
-    [YIELDLAB_FAST] is set to a non-empty value other than ["0"]. *)
+    [YIELDLAB_FAST] is set to a non-empty value other than ["0"]; [jobs] is
+    resolved through {!Yield_exec.Jobs.resolve} (CLI request >
+    [YIELDLAB_JOBS] > recommended domain count). *)
 
 val scale_name : t -> string
 

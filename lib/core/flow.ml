@@ -11,6 +11,7 @@ module Metrics = Yield_obs.Metrics
 module Span = Yield_obs.Span
 module Json = Yield_obs.Json
 module Fault = Yield_resilience.Fault
+module Pool = Yield_exec.Pool
 module Codec = Yield_resilience.Codec
 module Checkpoint = Yield_resilience.Checkpoint
 module Diagnostic = Yield_analyse.Diagnostic
@@ -235,6 +236,7 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
             front_stride = config.Config.front_stride;
             control = config.Config.control;
             seed = config.Config.seed;
+            jobs = config.Config.jobs;
             fingerprint = Config.fingerprint config;
           }
         in
@@ -293,6 +295,12 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
     let mc_attempted0 = Metrics.value c_mc_attempted in
     let optimisation_s = ref 0. in
     let mc_s = ref 0. in
+    (* one pool serves every parallel stage of the run (WBGA evaluation,
+       front re-simulation, MC batches), so the domain start-up cost is
+       paid once; jobs = 1 spawns nothing and every map is the serial loop *)
+    let pool = Pool.create ~jobs:config.Config.jobs () in
+    if Pool.jobs pool > 1 then
+      log (Printf.sprintf "flow: domain pool with %d jobs" (Pool.jobs pool));
     let build () =
       (* --- step 1-2: netlist generation + WBGA optimisation --- *)
       let evaluate params =
@@ -335,7 +343,8 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
                     ckpt
                 in
                 let r =
-                  Wbga.run ~config:config.Config.ga ?checkpoint:on_generation
+                  Wbga.run ~config:config.Config.ga ~pool
+                    ?checkpoint:on_generation
                     ?resume:wbga_resume ~param_ranges:A.param_ranges
                     ~objectives:
                       [|
@@ -366,14 +375,20 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
                 log "flow: front re-simulation restored from checkpoint";
                 points
             | None ->
+                let entries = wbga.Wbga.front in
+                let n = Array.length entries in
+                Metrics.add c_front_sims n;
+                (* nominal re-simulations are independent, so they fan out
+                   over the pool; the filter below keeps front order *)
+                let perfs =
+                  Pool.map pool ~n (fun i ->
+                      T.evaluate ~conditions
+                        (A.params_of_array entries.(i).Wbga.params))
+                in
                 let points =
-                  Array.to_list wbga.Wbga.front
-                  |> List.filter_map (fun (e : Wbga.entry) ->
-                         Metrics.incr c_front_sims;
-                         match
-                           T.evaluate ~conditions
-                             (A.params_of_array e.Wbga.params)
-                         with
+                  Array.to_list (Array.map2 (fun e p -> (e, p)) entries perfs)
+                  |> List.filter_map (fun ((e : Wbga.entry), perf) ->
+                         match perf with
                          | Some perf ->
                              Some
                                {
@@ -414,7 +429,7 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
                 let p = front_points.(i) in
                 let params = A.params_of_array p.Perf_model.params in
                 let outcome =
-                  Montecarlo.run_parallel_counted
+                  Montecarlo.run_pool_counted ~pool
                     ~samples:config.Config.mc_samples ~rng:mc_rng
                     (fun sample_rng ->
                       T.evaluate_sampled ~conditions
@@ -495,7 +510,9 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
     in
     let (wbga, front_points, var_points, perf_model, var_model, macromodel),
         total_s =
-      Span.timed ~name:"flow.run" build
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> Span.timed ~name:"flow.run" build)
     in
     {
       config;
@@ -522,9 +539,13 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
     | Some nominal ->
         let rng = Rng.create seed in
         let outcome =
-          Montecarlo.run_parallel_counted ~samples ~rng (fun sample_rng ->
-              T.evaluate_sampled ~conditions ~spec:t.config.Config.variation
-                ~rng:sample_rng params)
+          (* a transient pool: verification runs outside Flow.run, so the
+             run's own pool is already shut down *)
+          Pool.with_pool ~jobs:t.config.Config.jobs (fun pool ->
+              Montecarlo.run_pool_counted ~pool ~samples ~rng
+                (fun sample_rng ->
+                  T.evaluate_sampled ~conditions
+                    ~spec:t.config.Config.variation ~rng:sample_rng params))
         in
         let results = outcome.Montecarlo.results in
         if Array.length results = 0 then

@@ -43,6 +43,14 @@ val run :
   ?resume:bool -> Config.t -> t
 (** The paper's flow on its benchmark circuit (the symmetrical OTA).
 
+    The run owns one {!Yield_exec.Pool} of [Config.jobs] domains, shared by
+    every parallel stage — WBGA population evaluation, Pareto-front
+    re-simulation and the per-point Monte Carlo batches.  Results are
+    independent of [jobs]: RNG streams are split before each fan-out and
+    every order-sensitive reduction runs on the calling domain, so a
+    [jobs = n] run (including its checkpoints) is bit-identical to the
+    serial one.  [jobs = 1] takes the exact serial code path.
+
     Unless [~preflight:false], the run opens with a static-analysis stage
     ({!Yield_analyse}): config cross-field checks, a checkpoint-fingerprint
     dry-run, and a netlist lint of the amplifier's testbench at its default

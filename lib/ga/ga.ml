@@ -68,6 +68,9 @@ let run ?on_generation ?resume config encoding rng ~score =
           0 )
   in
   let evaluate population =
+    (* [score] may fan the evaluations out over domains; the engine touches
+       no RNG until it returns, and folds the results in population order,
+       so a concurrent score cannot perturb the evolution stream *)
     let scored = score population in
     if Array.length scored <> Array.length population then
       invalid_arg "Ga.run: score returned wrong number of results";

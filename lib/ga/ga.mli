@@ -53,6 +53,13 @@ val run :
     snapshot that resumes from the next one; [resume] restarts from such a
     snapshot (the passed [rng] is overwritten with the saved state, and the
     result's [evaluations]/[history] count the whole logical run).
+
+    [score] receives the whole population at once and may evaluate the
+    genomes concurrently (e.g. over a {!Yield_exec.Pool}); the engine only
+    requires that the returned array is in population order and that any
+    effect of [score] is deterministic in that order.  The engine itself
+    never consumes RNG while [score] runs, so a concurrent [score] cannot
+    perturb the evolution stream.
     @raise Invalid_argument for non-positive population/generations, if
     [score] returns the wrong number of results, or if [resume] disagrees
     with [config] on population size or generation count. *)

@@ -1,6 +1,7 @@
 module Metrics = Yield_obs.Metrics
 module Json = Yield_obs.Json
 module Codec = Yield_resilience.Codec
+module Pool = Yield_exec.Pool
 
 let c_evaluations = Metrics.counter "wbga.evaluations"
 
@@ -29,7 +30,7 @@ type snapshot = {
   normalizer : Fitness.state;
 }
 
-let run ?(config = Ga.default_config) ?checkpoint ?resume ~param_ranges
+let run ?(config = Ga.default_config) ?pool ?checkpoint ?resume ~param_ranges
     ~objectives ~rng ~evaluate () =
   let n_obj = Array.length objectives in
   if n_obj = 0 then invalid_arg "Wbga.run: no objectives";
@@ -52,12 +53,32 @@ let run ?(config = Ga.default_config) ?checkpoint ?resume ~param_ranges
       (fun j v -> if objectives.(j).maximise then v else -.v)
       raw
   in
+  (* Parallel evaluation keeps only the RNG-free [evaluate] calls on the
+     pool; everything order-sensitive — normaliser bounds, the failure
+     count, archive updates — runs in the deterministic in-order pass
+     below, so the [jobs = n] result is bit-identical to the serial one. *)
+  let evaluate_population population =
+    match pool with
+    | Some pool when Pool.jobs pool > 1 && Array.length population > 1 ->
+        let params = Array.map (Genome.params encoding) population in
+        let raws =
+          Pool.map pool ~n:(Array.length population) (fun i ->
+              evaluate params.(i))
+        in
+        Array.map2 (fun p raw -> (p, raw)) params raws
+    | Some _ | None ->
+        Array.map
+          (fun genome ->
+            let p = Genome.params encoding genome in
+            (p, evaluate p))
+          population
+  in
   let score population =
+    let evaluated = evaluate_population population in
     let raw_results =
       Array.map
-        (fun genome ->
-          let params = Genome.params encoding genome in
-          match evaluate params with
+        (fun (params, raw) ->
+          match raw with
           | Some raw when Array.length raw = n_obj ->
               let o = oriented raw in
               Fitness.observe normalizer o;
@@ -66,7 +87,7 @@ let run ?(config = Ga.default_config) ?checkpoint ?resume ~param_ranges
           | None ->
               incr failures;
               None)
-        population
+        evaluated
     in
     (* second pass: fitness under the bounds updated by the whole batch *)
     Array.map2

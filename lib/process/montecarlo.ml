@@ -3,6 +3,7 @@ module Summary = Yield_stats.Summary
 module Metrics = Yield_obs.Metrics
 module Span = Yield_obs.Span
 module Fault = Yield_resilience.Fault
+module Pool = Yield_exec.Pool
 
 type 'a counted = { results : 'a array; attempted : int; failed : int }
 
@@ -42,50 +43,36 @@ let run_counted ~samples ~rng f =
 
 let run ~samples ~rng f = (run_counted ~samples ~rng f).results
 
-let run_parallel_counted ?domains ~samples ~rng f =
-  let domains =
-    match domains with
-    | Some d -> Stdlib.max 1 d
-    | None -> Stdlib.min 8 (Domain.recommended_domain_count ())
-  in
-  if domains <= 1 || samples <= 1 then run_counted ~samples ~rng f
+let run_pool_counted ~pool ~samples ~rng f =
+  if Pool.jobs pool <= 1 || samples <= 1 then run_counted ~samples ~rng f
   else
     Span.with_ ~name:"mc.batch" (fun () ->
         (* split all child streams sequentially first, so the sample streams
            are identical to the serial path *)
-        let base = Fault.advance fp_sample ~by:samples in
         let children = Array.init samples (fun _ -> Rng.split rng) in
-        let slots = Array.make samples None in
-        let next = Atomic.make 0 in
-        let worker () =
-          (* one span per domain: its duration against the batch span is the
-             per-domain utilisation *)
-          Span.with_ ~name:"mc.worker" (fun () ->
-              let rec loop () =
-                let i = Atomic.fetch_and_add next 1 in
-                if i < samples then begin
-                  slots.(i) <-
-                    (if Fault.fire_at fp_sample ~index:(base + i) then None
-                     else f children.(i));
-                  loop ()
-                end
-              in
-              loop ())
+        let c =
+          Pool.map_counted pool ~fault:fp_sample ~n:samples (fun i ->
+              f children.(i))
         in
-        let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
-        Array.iter Domain.join spawned;
-        let failed =
-          Array.fold_left
-            (fun acc s -> match s with None -> acc + 1 | Some _ -> acc)
-            0 slots
-        in
-        record ~attempted:samples ~failed;
+        record ~attempted:c.Pool.attempted ~failed:c.Pool.failed;
         {
-          results = Array.of_list (List.filter_map Fun.id (Array.to_list slots));
-          attempted = samples;
-          failed;
+          results = c.Pool.results;
+          attempted = c.Pool.attempted;
+          failed = c.Pool.failed;
         })
+
+let run_pool ~pool ~samples ~rng f = (run_pool_counted ~pool ~samples ~rng f).results
+
+(* Deprecated shims: a throwaway pool per batch reproduces the old
+   spawn-per-batch behaviour on top of the shared implementation, so the
+   shim and pool paths cannot drift apart. *)
+let run_parallel_counted ?domains ~samples ~rng f =
+  let jobs =
+    match domains with
+    | Some d -> Stdlib.max 1 d
+    | None -> Yield_exec.Jobs.resolve ()
+  in
+  Pool.with_pool ~jobs (fun pool -> run_pool_counted ~pool ~samples ~rng f)
 
 let run_parallel ?domains ~samples ~rng f =
   (run_parallel_counted ?domains ~samples ~rng f).results

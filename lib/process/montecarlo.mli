@@ -1,9 +1,10 @@
 (** Generic Monte Carlo driver and yield estimation.
 
     Every batch is instrumented: a ["mc.batch"] span (plus one
-    ["mc.worker"] span per domain on the parallel path, whose durations
-    give the per-domain utilisation) and the ["mc.samples.attempted"] /
-    ["mc.samples.failed"] counters in {!Yield_obs.Metrics}. *)
+    ["exec.worker"] span per participating domain on the pool path, whose
+    durations give the per-domain utilisation) and the
+    ["mc.samples.attempted"] / ["mc.samples.failed"] counters in
+    {!Yield_obs.Metrics}. *)
 
 type 'a counted = {
   results : 'a array;  (** the successful samples, in sample order *)
@@ -21,14 +22,27 @@ val run_counted :
     stream per sample and collects the successful results together with the
     attempted/failed counts. *)
 
+val run_pool_counted :
+  pool:Yield_exec.Pool.t -> samples:int -> rng:Yield_stats.Rng.t ->
+  (Yield_stats.Rng.t -> 'a option) -> 'a counted
+(** Like {!run_counted} but fanned out over a shared {!Yield_exec.Pool}.
+    Child streams are split sequentially {e before} the fan-out and results
+    are collected in sample order, so the outcome is {e identical} to
+    {!run_counted} with the same [rng] — including which samples a fault
+    schedule injects away.  Delegates to {!run_counted} (the exact serial
+    code path) when the pool has one participant or [samples <= 1].  [f]
+    must not share mutable state across calls. *)
+
 val run_parallel_counted :
   ?domains:int -> samples:int -> rng:Yield_stats.Rng.t ->
   (Yield_stats.Rng.t -> 'a option) -> 'a counted
-(** Like {!run_counted} but fanned out over OCaml 5 domains (default:
-    [Domain.recommended_domain_count], capped at 8).  Child streams are
-    split sequentially before the fan-out and results are collected in
-    sample order, so the outcome is {e identical} to {!run_counted} with
-    the same [rng].  [f] must not share mutable state across calls. *)
+[@@deprecated
+  "spawns a throwaway pool per batch; use run_pool_counted with a shared \
+   Yield_exec.Pool"]
+(** Deprecated shim over {!run_pool_counted}: spawns a throwaway
+    {!Yield_exec.Pool} per batch (default jobs: {!Yield_exec.Jobs.resolve}),
+    so every batch pays the domain start-up cost the shared pool amortises.
+    Results are byte-identical to the pool path with the same [rng]. *)
 
 val run :
   samples:int -> rng:Yield_stats.Rng.t -> (Yield_stats.Rng.t -> 'a option) ->
@@ -37,10 +51,19 @@ val run :
     be shorter than [samples].  Prefer {!run_counted} when the caller needs
     a denominator. *)
 
+val run_pool :
+  pool:Yield_exec.Pool.t -> samples:int -> rng:Yield_stats.Rng.t ->
+  (Yield_stats.Rng.t -> 'a option) -> 'a array
+(** [run_pool_counted] keeping only the successful results. *)
+
 val run_parallel :
   ?domains:int -> samples:int -> rng:Yield_stats.Rng.t ->
   (Yield_stats.Rng.t -> 'a option) -> 'a array
-(** [run_parallel_counted] keeping only the successful results. *)
+[@@deprecated
+  "spawns a throwaway pool per batch; use run_pool with a shared \
+   Yield_exec.Pool"]
+(** Deprecated shim: [run_parallel_counted] keeping only the successful
+    results. *)
 
 type yield_estimate = {
   pass : int;

@@ -279,6 +279,7 @@ let view =
     front_stride = 1;
     control = "3E";
     seed = 2008;
+    jobs = 1;
     fingerprint = "v1;test";
   }
 

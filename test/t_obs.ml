@@ -9,6 +9,7 @@ module Metrics = Yield_obs.Metrics
 module Span = Yield_obs.Span
 module Sink = Yield_obs.Sink
 module Montecarlo = Yield_process.Montecarlo
+module Pool = Yield_exec.Pool
 module Rng = Yield_stats.Rng
 
 let check_float ?(eps = 1e-9) what expected actual =
@@ -245,7 +246,8 @@ let test_mc_counted_determinism () =
   in
   let serial = Montecarlo.run_counted ~samples:64 ~rng:(Rng.create 5) f in
   let parallel =
-    Montecarlo.run_parallel_counted ~domains:4 ~samples:64 ~rng:(Rng.create 5) f
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Montecarlo.run_pool_counted ~pool ~samples:64 ~rng:(Rng.create 5) f)
   in
   Alcotest.(check bool) "identical results" true
     (serial.Montecarlo.results = parallel.Montecarlo.results);

@@ -5,6 +5,7 @@ module Tech = Yield_process.Tech
 module Variation = Yield_process.Variation
 module Corner = Yield_process.Corner
 module Montecarlo = Yield_process.Montecarlo
+module Pool = Yield_exec.Pool
 module Mosfet = Yield_spice.Mosfet
 module Circuit = Yield_spice.Circuit
 module Device = Yield_spice.Device
@@ -148,7 +149,8 @@ let test_mc_parallel_matches_serial () =
   in
   let serial = Montecarlo.run ~samples:64 ~rng:(Rng.create 21) f in
   let parallel =
-    Montecarlo.run_parallel ~domains:4 ~samples:64 ~rng:(Rng.create 21) f
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Montecarlo.run_pool ~pool ~samples:64 ~rng:(Rng.create 21) f)
   in
   Alcotest.(check bool) "identical results" true (serial = parallel)
 
@@ -164,7 +166,8 @@ let test_mc_parallel_circuit_evaluation () =
   in
   let serial = Montecarlo.run ~samples:8 ~rng:(Rng.create 9) eval in
   let parallel =
-    Montecarlo.run_parallel ~domains:4 ~samples:8 ~rng:(Rng.create 9) eval
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Montecarlo.run_pool ~pool ~samples:8 ~rng:(Rng.create 9) eval)
   in
   Alcotest.(check bool) "same gains" true (serial = parallel)
 

@@ -17,6 +17,7 @@ module Rng = Yield_stats.Rng
 module Circuit = Yield_spice.Circuit
 module Dcop = Yield_spice.Dcop
 module Montecarlo = Yield_process.Montecarlo
+module Pool = Yield_exec.Pool
 module Tbl_io = Yield_table.Tbl_io
 module Genome = Yield_ga.Genome
 module Ga = Yield_ga.Ga
@@ -475,7 +476,8 @@ let test_mc_injection_serial_equals_parallel () =
       let serial = batch (fun ~samples ~rng f ->
           Montecarlo.run_counted ~samples ~rng f) in
       let parallel = batch (fun ~samples ~rng f ->
-          Montecarlo.run_parallel_counted ~domains:4 ~samples ~rng f) in
+          Pool.with_pool ~jobs:4 (fun pool ->
+              Montecarlo.run_pool_counted ~pool ~samples ~rng f)) in
       Alcotest.(check int) "attempted" serial.Montecarlo.attempted
         parallel.Montecarlo.attempted;
       Alcotest.(check int) "failed" serial.Montecarlo.failed

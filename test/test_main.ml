@@ -16,6 +16,7 @@ let () =
          T_behavioural.suites;
          T_core.suites;
          T_resilience.suites;
+         T_exec.suites;
          T_analyse.suites;
          T_analyse2.suites;
        ])
