@@ -28,7 +28,6 @@ module Mat = Yield_numeric.Mat
 module Lu = Yield_numeric.Lu
 module Json = Yield_obs.Json
 module Metrics = Yield_obs.Metrics
-module Histogram = Yield_obs.Histogram
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable record of the flow run: stage timings, simulation
@@ -93,17 +92,10 @@ let write_bench_json ?(sweep = []) ctx ~path =
   let t = flow.Flow.timings in
   let c = flow.Flow.counts in
   let snap = Metrics.snapshot () in
+  (* the shared field list (Sink.histogram_fields), so the BENCH schema and
+     the JSONL sink schema cannot drift apart *)
   let histogram_json (s : Yield_obs.Histogram.summary) =
-    Json.Obj
-      [
-        ("count", Json.Int s.Histogram.count);
-        ("mean", Json.Float s.Histogram.mean);
-        ("min", Json.Float s.Histogram.min);
-        ("max", Json.Float s.Histogram.max);
-        ("p50", Json.Float s.Histogram.p50);
-        ("p90", Json.Float s.Histogram.p90);
-        ("p99", Json.Float s.Histogram.p99);
-      ]
+    Json.Obj (Yield_obs.Sink.histogram_fields s)
   in
   let json =
     Json.Obj
@@ -137,7 +129,8 @@ let write_bench_json ?(sweep = []) ctx ~path =
       @ (if sweep = [] then [] else [ ("jobs_sweep", Json.List sweep) ]))
   in
   Yield_obs.Sink.write_file ~path (Json.to_string json ^ "\n");
-  Printf.printf "wrote %s\n%!" path
+  Printf.printf "wrote %s\n%!" path;
+  json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per primitive cost of Table 5's
@@ -704,15 +697,104 @@ let generalisation_miller ctx =
   end
 
 (* ------------------------------------------------------------------ *)
+(* The perf-regression gate (README.md §Telemetry documents the baseline
+   refresh procedure):
+
+     bench --write-baseline PATH   distil this run into a baseline file
+     bench --check BASELINE        diff this run against a baseline;
+                                   exit 1 on any finding
+     bench --bench BENCH.json ...  gate an existing BENCH_flow.json instead
+                                   of running the flow (offline: the same
+                                   run can be diffed against several
+                                   baselines without timing noise between
+                                   them)
+
+   Running the flow for the gate is flow-only (the ablation/experiment
+   suite is not part of the gated surface). *)
+
+module Perf_gate = Yield_core.Perf_gate
+
+type cli = {
+  check : string option;
+  write_baseline : string option;
+  bench_file : string option;
+}
+
+let usage () =
+  prerr_endline
+    "usage: bench [--bench BENCH.json] [--check BASELINE] [--write-baseline \
+     PATH]";
+  exit 2
+
+let parse_cli () =
+  let rec go acc = function
+    | [] -> acc
+    | "--check" :: path :: rest -> go { acc with check = Some path } rest
+    | "--write-baseline" :: path :: rest ->
+        go { acc with write_baseline = Some path } rest
+    | "--bench" :: path :: rest -> go { acc with bench_file = Some path } rest
+    | ("--check" | "--write-baseline" | "--bench") :: [] -> usage ()
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %s\n" arg;
+        usage ()
+  in
+  let cli =
+    go
+      { check = None; write_baseline = None; bench_file = None }
+      (List.tl (Array.to_list Sys.argv))
+  in
+  if cli.bench_file <> None && cli.check = None && cli.write_baseline = None
+  then usage ();
+  cli
+
+let run_gate cli bench_json =
+  Option.iter
+    (fun path ->
+      Yield_obs.Sink.write_file ~path
+        (Json.to_string (Perf_gate.baseline_of_bench bench_json) ^ "\n");
+      Printf.printf "wrote baseline %s\n%!" path)
+    cli.write_baseline;
+  Option.iter
+    (fun path ->
+      let baseline =
+        Json.parse (In_channel.with_open_text path In_channel.input_all)
+      in
+      match Perf_gate.check ~baseline ~bench:bench_json with
+      | [] -> Printf.printf "perf gate: OK against %s\n%!" path
+      | findings ->
+          Printf.eprintf "perf gate: %d finding(s) against %s\n"
+            (List.length findings) path;
+          List.iter
+            (fun f -> Printf.eprintf "  %s\n" (Perf_gate.to_string f))
+            findings;
+          Printf.eprintf "%!";
+          exit 1)
+    cli.check
 
 let () =
+  let cli = parse_cli () in
+  (match cli.bench_file with
+  | None -> ()
+  | Some path ->
+      (* offline gate: no flow run, just diff the recorded document *)
+      let bench_json =
+        Json.parse (In_channel.with_open_text path In_channel.input_all)
+      in
+      run_gate cli bench_json;
+      Printf.printf "gated %s\n%!" path;
+      exit 0);
   let config = Config.of_env () in
   Printf.printf
     "yieldlab benchmark harness — %s (set YIELDLAB_FAST=1 for a smoke run)\n%!"
     (Config.scale_name config);
   let sweep = jobs_sweep config in
   let ctx = Experiments.make_context ~log:(Printf.printf "%s\n%!") config in
-  write_bench_json ~sweep ctx ~path:"BENCH_flow.json";
+  let bench_json = write_bench_json ~sweep ctx ~path:"BENCH_flow.json" in
+  run_gate cli bench_json;
+  if cli.check <> None || cli.write_baseline <> None then begin
+    print_string (Report.section "done (perf gate)");
+    exit 0
+  end;
   (* CI uses this to produce the BENCH_flow.json artifact without paying for
      the full experiment/ablation suite *)
   (match Sys.getenv_opt "YIELDLAB_BENCH_FLOW_ONLY" with

@@ -48,6 +48,9 @@ open Cmdliner
 type obs_opts = {
   trace : string option;
   metrics : string option;
+  trace_stream : string option;
+  span_sample : string option;
+  snapshot_every : float option;
   verbose : bool;
   fault_spec : string option;
   jobs : int option;
@@ -71,6 +74,39 @@ let obs_term =
           ~doc:
             "write a JSONL log of counters, histogram summaries and span \
              events")
+  in
+  let trace_stream =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-stream" ] ~docv:"FILE"
+          ~doc:
+            "stream every span event to FILE as it happens (crash-tolerant, \
+             one flushed line per event): $(b,.jsonl) appends JSONL lines, \
+             any other $(b,.json) grows a Chrome trace array.  Unlike \
+             $(b,--trace)/$(b,--metrics), the stream sees the complete \
+             event log even when it exceeds the in-memory span window")
+  in
+  let span_sample =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "span-sample" ] ~docv:"SPEC"
+          ~doc:
+            "thin high-frequency spans deterministically, e.g. \
+             'mc.batch=0.1;exec.*=0'.  NAME=RATE clauses separated by ';' \
+             or ','; a trailing $(b,*) matches by prefix.  Decisions hash \
+             the span's (name, key) only, so the kept set is identical at \
+             any $(b,--jobs) count.  Metrics still see every span")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "snapshot-every" ] ~docv:"SECONDS"
+          ~doc:
+            "with $(b,--trace-stream), also append a metrics-delta snapshot \
+             line every SECONDS seconds (progress counters survive a crash)")
   in
   let verbose =
     Arg.(
@@ -103,9 +139,20 @@ let obs_term =
              runs serially")
   in
   Term.(
-    const (fun trace metrics verbose fault_spec jobs ->
-        { trace; metrics; verbose; fault_spec; jobs })
-    $ trace $ metrics $ verbose $ fault_spec $ jobs)
+    const (fun trace metrics trace_stream span_sample snapshot_every verbose
+               fault_spec jobs ->
+        {
+          trace;
+          metrics;
+          trace_stream;
+          span_sample;
+          snapshot_every;
+          verbose;
+          fault_spec;
+          jobs;
+        })
+    $ trace $ metrics $ trace_stream $ span_sample $ snapshot_every $ verbose
+    $ fault_spec $ jobs)
 
 (* run a subcommand under the telemetry options, flushing the sinks on the
    way out (also when the command raises) *)
@@ -114,6 +161,33 @@ let with_obs opts run =
   (* record the global flag before any subcommand reads the config: every
      Yield_exec.Jobs.resolve () from here on sees it *)
   Yield_exec.Jobs.set_requested opts.jobs;
+  (match opts.span_sample with
+  | None -> ()
+  | Some spec -> begin
+      match Obs.set_span_sample spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "yieldlab: bad --span-sample: %s\n" msg;
+          exit 2
+    end);
+  (match opts.snapshot_every with
+  | Some s when s <= 0. ->
+      Printf.eprintf "yieldlab: --snapshot-every must be positive\n";
+      exit 2
+  | Some _ when opts.trace_stream = None ->
+      Printf.eprintf "yieldlab: --snapshot-every needs --trace-stream\n";
+      exit 2
+  | Some _ | None -> ());
+  (match opts.trace_stream with
+  | None -> ()
+  | Some path -> begin
+      (* armed before the run so the CLI flags win over any
+         YIELDLAB_TRACE_STREAM the flow config would apply *)
+      try Obs.start_stream ?snapshot_every_s:opts.snapshot_every ~path ()
+      with Sys_error msg ->
+        Printf.eprintf "yieldlab: cannot open --trace-stream: %s\n" msg;
+        exit 1
+    end);
   (match opts.fault_spec with
   | None -> ()
   | Some spec -> begin
@@ -136,6 +210,9 @@ let with_obs opts run =
           exit 2
     end);
   let flush () =
+    (* the stream first: its final snapshot and metric lines must include
+       everything the run recorded *)
+    Obs.stop_stream ();
     (try Obs.flush ?trace:opts.trace ?metrics:opts.metrics ()
      with Sys_error msg ->
        Printf.eprintf "yieldlab: cannot write telemetry: %s\n" msg;
@@ -417,7 +494,13 @@ let optimize_cmd =
 
 let flow fast topology out_dir checkpoint_dir resume no_preflight =
   let config = if fast then Config.fast_scale else Config.paper_scale in
-  let config = { config with Config.jobs = Yield_exec.Jobs.resolve () } in
+  let config =
+    {
+      config with
+      Config.jobs = Yield_exec.Jobs.resolve ();
+      telemetry = Config.telemetry_of_env ();
+    }
+  in
   let preflight = not no_preflight in
   let flow =
     match topology with

@@ -1,3 +1,9 @@
+type telemetry = {
+  trace_stream : string option;
+  span_sample : string option;
+  snapshot_every_s : float option;
+}
+
 type t = {
   conditions : Yield_circuits.Ota_testbench.conditions;
   variation : Yield_process.Variation.spec;
@@ -7,7 +13,11 @@ type t = {
   control : string;
   seed : int;
   jobs : int;
+  telemetry : telemetry;
 }
+
+let no_telemetry =
+  { trace_stream = None; span_sample = None; snapshot_every_s = None }
 
 let paper_scale =
   {
@@ -24,6 +34,7 @@ let paper_scale =
     control = "3E";
     seed = 2008;
     jobs = 1;
+    telemetry = no_telemetry;
   }
 
 let fast_scale =
@@ -39,19 +50,38 @@ let fast_scale =
     front_stride = 4;
   }
 
+let telemetry_of_env () =
+  let nonempty k =
+    match Sys.getenv_opt k with Some "" | None -> None | Some v -> Some v
+  in
+  {
+    trace_stream = nonempty "YIELDLAB_TRACE_STREAM";
+    span_sample = nonempty "YIELDLAB_SPAN_SAMPLE";
+    snapshot_every_s =
+      Option.bind (nonempty "YIELDLAB_SNAPSHOT_EVERY") (fun v ->
+          match float_of_string_opt v with
+          | Some s when s > 0. -> Some s
+          | Some _ | None -> None);
+  }
+
 let of_env () =
   let base =
     match Sys.getenv_opt "YIELDLAB_FAST" with
     | Some v when v <> "" && v <> "0" -> fast_scale
     | Some _ | None -> paper_scale
   in
-  { base with jobs = Yield_exec.Jobs.resolve () }
+  {
+    base with
+    jobs = Yield_exec.Jobs.resolve ();
+    telemetry = telemetry_of_env ();
+  }
 
 let fingerprint t =
   (* everything the checkpointed stages' determinism depends on; resuming
-     under a different fingerprint is refused.  [jobs] is deliberately
-     absent: results are jobs-independent, so a serial checkpoint may be
-     resumed under a pool and vice versa *)
+     under a different fingerprint is refused.  [jobs] and [telemetry] are
+     deliberately absent: results are jobs-independent and observability
+     never feeds back into them, so a serial checkpoint may be resumed
+     under a pool, with or without a trace stream *)
   Printf.sprintf "v1;seed=%d;pop=%d;gens=%d;mc=%d;stride=%d;control=%s"
     t.seed t.ga.Yield_ga.Ga.population_size t.ga.Yield_ga.Ga.generations
     t.mc_samples t.front_stride t.control

@@ -1,5 +1,19 @@
 (** Configuration of the full model-generation flow (Figure 3). *)
 
+type telemetry = {
+  trace_stream : string option;
+      (** stream span events incrementally to this path
+          ([.jsonl] → JSONL, other [.json] → Chrome trace) *)
+  span_sample : string option;
+      (** deterministic span-sampling spec, e.g. ["mc.batch=0.1;exec.*=0"] *)
+  snapshot_every_s : float option;
+      (** periodic metrics-delta snapshots into the stream *)
+}
+(** Runtime observability knobs — never part of {!fingerprint}, since they
+    cannot affect results.  {!Flow.run} arms them idempotently
+    ({!Yield_obs.Obs.ensure_telemetry}), so CLI flags applied earlier
+    always win over env-derived values. *)
+
 type t = {
   conditions : Yield_circuits.Ota_testbench.conditions;
   variation : Yield_process.Variation.spec;
@@ -15,7 +29,11 @@ type t = {
           evaluation, Pareto-front re-simulation, Monte Carlo batches);
           [1] takes the exact serial code path.  Results are
           jobs-independent, so [jobs] is excluded from {!fingerprint}. *)
+  telemetry : telemetry;
 }
+
+val no_telemetry : telemetry
+(** All knobs off — what {!paper_scale} and {!fast_scale} carry. *)
 
 val paper_scale : t
 (** The paper's §4 settings: population 100 x 100 generations (10,000
@@ -30,7 +48,13 @@ val of_env : unit -> t
 (** [paper_scale], or [fast_scale] when the environment variable
     [YIELDLAB_FAST] is set to a non-empty value other than ["0"]; [jobs] is
     resolved through {!Yield_exec.Jobs.resolve} (CLI request >
-    [YIELDLAB_JOBS] > recommended domain count). *)
+    [YIELDLAB_JOBS] > recommended domain count); [telemetry] from
+    {!telemetry_of_env}. *)
+
+val telemetry_of_env : unit -> telemetry
+(** [YIELDLAB_TRACE_STREAM] (path), [YIELDLAB_SPAN_SAMPLE] (spec) and
+    [YIELDLAB_SNAPSHOT_EVERY] (seconds; non-numeric or [<= 0] values are
+    ignored).  Empty variables count as unset. *)
 
 val scale_name : t -> string
 

@@ -122,7 +122,9 @@ let run ?on_generation ?resume config encoding rng ~score =
   in
   let best = ref resumed_best in
   for gen = start_gen to config.generations - 1 do
-    Span.with_ ~name:"ga.generation" (fun () ->
+    (* the generation number is the span key: a natural, jobs-independent
+       sampling identity *)
+    Span.with_ ~name:"ga.generation" ~key:gen (fun () ->
         let evaluated = evaluate !population in
         Array.iter
           (fun e ->

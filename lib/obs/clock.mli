@@ -1,12 +1,19 @@
 (** Timestamps for the telemetry subsystem.
 
-    OCaml's stdlib exposes no monotonic clock, so this wraps
-    [Unix.gettimeofday] behind a single chokepoint: every obs timestamp
-    flows through here, and swapping in a true monotonic source (mtime,
-    clock_gettime bindings) is a one-file change. *)
+    Every obs timestamp flows through this single chokepoint.  {!now_s} and
+    {!now_us} read [CLOCK_MONOTONIC] through the repo's one C stub
+    ([clock_stubs.c]), so span durations and stream timestamps are immune
+    to NTP steps and wall-clock adjustments — the failure mode the old
+    [Unix.gettimeofday] wrapper documented.  The monotonic epoch is
+    unspecified (typically boot time); only differences are meaningful, and
+    {!Span} already rebases everything on the first use of the library. *)
 
 val now_s : unit -> float
-(** Seconds since the Unix epoch. *)
+(** Monotonic seconds.  Arbitrary epoch; use differences only. *)
 
 val now_us : unit -> float
-(** Microseconds since the Unix epoch (the unit of Chrome trace [ts]). *)
+(** Monotonic microseconds (the unit of Chrome trace [ts]). *)
+
+val wall_s : unit -> float
+(** Seconds since the Unix epoch ([Unix.gettimeofday]), for the few places
+    that need an absolute civil timestamp rather than a duration. *)

@@ -1,0 +1,18 @@
+/* Monotonic time for the telemetry subsystem.
+
+   The OCaml 5.1 stdlib exposes no monotonic clock, so this is the one
+   binding the repo carries: CLOCK_MONOTONIC as integer nanoseconds.  The
+   epoch is unspecified (typically boot time); only differences are
+   meaningful, which is exactly what span durations and stream timestamps
+   need.  */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value yieldlab_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -76,7 +76,18 @@ let quantile_of_sorted xs q =
 let summarize t =
   let count, sum, vmin, vmax, values = snapshot t in
   if count = 0 then
-    { count = 0; sum = 0.; mean = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+    (* nan, not 0.: an empty histogram must be distinguishable from one
+       that really observed zeros — the JSON sinks turn nan into null *)
+    {
+      count = 0;
+      sum = 0.;
+      mean = Float.nan;
+      min = Float.nan;
+      max = Float.nan;
+      p50 = Float.nan;
+      p90 = Float.nan;
+      p99 = Float.nan;
+    }
   else begin
     Array.sort Float.compare values;
     {

@@ -9,10 +9,10 @@ type t
 type summary = {
   count : int;
   sum : float;
-  mean : float;
-  min : float;  (** 0. when empty *)
-  max : float;  (** 0. when empty *)
-  p50 : float;
+  mean : float;  (** nan when empty *)
+  min : float;  (** nan when empty (so JSON sinks emit null, not a fake 0) *)
+  max : float;  (** nan when empty *)
+  p50 : float;  (** nan when empty *)
   p90 : float;
   p99 : float;
 }

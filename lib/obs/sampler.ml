@@ -1,0 +1,115 @@
+type rule = { prefix : bool; pattern : string; rate : float }
+
+(* the active rule set; replaced wholesale by [configure]/[clear].  Reads
+   are lock-free (immutable list behind an Atomic) because [keep] sits on
+   the span-open path of every domain. *)
+let rules : rule list Atomic.t = Atomic.make []
+
+let clear () = Atomic.set rules []
+
+let parse_rule item =
+  match String.index_opt item '=' with
+  | None ->
+      Error
+        (Printf.sprintf "'%s': expected NAME=RATE (e.g. mc.batch=0.1)" item)
+  | Some i -> begin
+      let name = String.trim (String.sub item 0 i) in
+      let rate_s =
+        String.trim (String.sub item (i + 1) (String.length item - i - 1))
+      in
+      if name = "" then Error (Printf.sprintf "'%s': empty span name" item)
+      else
+        match float_of_string_opt rate_s with
+        | None -> Error (Printf.sprintf "'%s': rate '%s' is not a number" item rate_s)
+        | Some rate when not (rate >= 0. && rate <= 1.) ->
+            Error (Printf.sprintf "'%s': rate %g outside [0, 1]" item rate)
+        | Some rate ->
+            if String.length name >= 1 && name.[String.length name - 1] = '*'
+            then
+              Ok
+                {
+                  prefix = true;
+                  pattern = String.sub name 0 (String.length name - 1);
+                  rate;
+                }
+            else Ok { prefix = false; pattern = name; rate }
+    end
+
+let parse_rules spec =
+  let items =
+    String.split_on_char ';' spec
+    |> List.concat_map (String.split_on_char ',')
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if items = [] then Error "empty sampling spec"
+  else
+    List.fold_left
+      (fun acc item ->
+        match (acc, parse_rule item) with
+        | Error _, _ -> acc
+        | Ok rs, Ok r -> Ok (r :: rs)
+        | Ok _, Error e -> Error e)
+      (Ok []) items
+    |> Result.map List.rev
+
+let parse spec = Result.map ignore (parse_rules spec)
+
+let configure spec = Result.map (Atomic.set rules) (parse_rules spec)
+
+let active () = Atomic.get rules <> []
+
+(* most specific rule wins: exact match beats any prefix, longer prefix
+   beats shorter; among equals the first spec entry wins *)
+let rule_for name =
+  let better (current : rule option) (r : rule) =
+    let matches =
+      if r.prefix then
+        String.length name >= String.length r.pattern
+        && String.sub name 0 (String.length r.pattern) = r.pattern
+      else name = r.pattern
+    in
+    if not matches then current
+    else
+      match current with
+      | None -> Some r
+      | Some c ->
+          if c.prefix && not r.prefix then Some r (* exact beats prefix *)
+          else if c.prefix = r.prefix
+                  && String.length r.pattern > String.length c.pattern
+          then Some r (* longer prefix beats shorter *)
+          else Some c (* first spec entry wins among equals *)
+  in
+  List.fold_left better None (Atomic.get rules)
+
+(* FNV-1a over the span name then the key's 8 little-endian bytes: a pure
+   function of (name, key), so the decision is identical in any process,
+   at any --jobs count and under any domain interleaving *)
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let hash ~name ~key =
+  let h = ref fnv_offset in
+  let step byte =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (byte land 0xff))) fnv_prime
+  in
+  String.iter (fun c -> step (Char.code c)) name;
+  for shift = 0 to 7 do
+    step (key asr (8 * shift))
+  done;
+  !h
+
+(* top 53 bits as a float in [0, 1) *)
+let unit_float h =
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+let decide ~rate ~name ~key =
+  if rate >= 1. then true
+  else if rate <= 0. then false
+  else unit_float (hash ~name ~key) < rate
+
+let keep ~name ~key =
+  match rule_for name with
+  | None -> true
+  | Some r -> decide ~rate:r.rate ~name ~key

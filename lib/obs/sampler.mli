@@ -1,0 +1,37 @@
+(** Deterministic span sampling for high-frequency spans.
+
+    A sampling spec is a list of [NAME=RATE] items separated by [,] or
+    [;], e.g. ["mc.batch=0.1;ga.generation=0.5"].  [NAME] is an exact span
+    name, or a prefix when it ends in [*] (["mc.*=0.1"]).  [RATE] is the
+    kept fraction in [[0, 1]]; spans with no matching rule are always kept.
+    The most specific rule wins (exact over prefix, longer prefix over
+    shorter).
+
+    The keep/drop decision for a span is a pure FNV-1a hash of its
+    [(name, key)] identity compared against the rate — never a shared RNG
+    or a sequence position observed at run time.  Keys are assigned by the
+    instrumentation sites before any fan-out (batch ordinal, generation
+    number), following the same split-before-fan-out discipline as the
+    fault-injection schedules, so the sampled span set is byte-identical at
+    any [--jobs] count and across repeated runs. *)
+
+val configure : string -> (unit, string) result
+(** Replace the active rule set by parsing a spec.  On [Error] the previous
+    rules stay in force. *)
+
+val parse : string -> (unit, string) result
+(** Validate a spec without installing it (the static check the CLI and
+    config lint use). *)
+
+val clear : unit -> unit
+(** Drop all rules: every span is kept again. *)
+
+val active : unit -> bool
+
+val keep : name:string -> key:int -> bool
+(** The deterministic decision for one span.  [true] when no rule
+    matches. *)
+
+val decide : rate:float -> name:string -> key:int -> bool
+(** The raw hash decision, exposed for tests and for callers that manage
+    their own rate tables. *)

@@ -49,7 +49,28 @@ let span_json (e : Span.event) =
       ("dur_us", Json.Float e.Span.dur_us);
       ("tid", Json.Int e.Span.tid);
       ("depth", Json.Int e.Span.depth);
+      ("key", Json.Int e.Span.key);
     ]
+
+(* inverse of [span_json], tolerant of a missing [key] (older logs) *)
+let span_of_json j =
+  let number k = Option.bind (Json.member k j) Json.number_value in
+  let int k = Option.map int_of_float (number k) in
+  match
+    (Option.bind (Json.member "name" j) Json.string_value,
+     number "ts_us", number "dur_us", int "tid", int "depth")
+  with
+  | Some name, Some ts_us, Some dur_us, Some tid, Some depth ->
+      Some
+        {
+          Span.name;
+          ts_us;
+          dur_us;
+          tid;
+          depth;
+          key = Option.value (int "key") ~default:0;
+        }
+  | _ -> None
 
 let jsonl_of ?(spans = []) (snap : Metrics.snapshot) =
   let b = Buffer.create 1024 in
@@ -74,11 +95,14 @@ let text_of ?(spans = []) (snap : Metrics.snapshot) =
     Buffer.add_string b "histograms:\n";
     List.iter
       (fun (name, (s : Histogram.summary)) ->
-        Printf.bprintf b
-          "  %-32s n=%-8d mean=%-10.4g p50=%-10.4g p90=%-10.4g p99=%-10.4g \
-           min=%-10.4g max=%.4g\n"
-          name s.Histogram.count s.Histogram.mean s.Histogram.p50
-          s.Histogram.p90 s.Histogram.p99 s.Histogram.min s.Histogram.max)
+        if s.Histogram.count = 0 then
+          Printf.bprintf b "  %-32s n=0        (empty)\n" name
+        else
+          Printf.bprintf b
+            "  %-32s n=%-8d mean=%-10.4g p50=%-10.4g p90=%-10.4g p99=%-10.4g \
+             min=%-10.4g max=%.4g\n"
+            name s.Histogram.count s.Histogram.mean s.Histogram.p50
+            s.Histogram.p90 s.Histogram.p99 s.Histogram.min s.Histogram.max)
       snap.Metrics.histograms
   end;
   if spans <> [] then begin

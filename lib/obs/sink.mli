@@ -13,6 +13,26 @@ val chrome_trace_of_events : Span.event list -> Json.t
 (** A JSON array of complete ([ph = "X"]) events with [name], [cat], [ph],
     [ts], [dur], [pid], [tid] fields; [ts]/[dur] in microseconds. *)
 
+val histogram_fields : Histogram.summary -> (string * Json.t) list
+(** The canonical JSON field list of a histogram summary
+    (count/sum/mean/min/max/p50/p90/p99) — the single definition every
+    sink and the bench harness share.  Non-finite values (the nan
+    min/max/quantiles of an empty histogram) serialise as [null]. *)
+
+val counter_json : string * int -> Json.t
+(** One [{"type":"counter",...}] line object. *)
+
+val histogram_json : string * Histogram.summary -> Json.t
+(** One [{"type":"histogram",...}] line object (fields from
+    {!histogram_fields}). *)
+
+val span_json : Span.event -> Json.t
+(** One [{"type":"span",...}] line object, as the JSONL sinks emit it. *)
+
+val span_of_json : Json.t -> Span.event option
+(** Inverse of {!span_json}; [None] when required fields are missing.  A
+    missing [key] (logs from before span keys existed) decodes as 0. *)
+
 val jsonl_of : ?spans:Span.event list -> Metrics.snapshot -> string
 (** One line per counter ([{"type":"counter","name",...,"value":...}]),
     histogram ([{"type":"histogram",...}], with count/sum/mean/min/max and

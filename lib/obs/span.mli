@@ -1,37 +1,71 @@
-(** Hierarchical timed spans.
+(** Hierarchical timed spans, streamed over a live event bus.
 
-    Each domain records into its own buffer (registered globally on first
-    use, so nothing is lost when a worker domain is joined and dies);
-    {!events} merges all buffers.  Nesting is tracked per domain and
-    carried on the event, and is also implied by the timestamp containment
-    the Chrome trace viewer uses.
+    A span's close feeds three consumers:
 
-    A span additionally feeds its duration (in seconds) into the
-    ["span.<name>"] histogram of {!Metrics}, so per-stage statistics
-    survive {!clear} and appear in metric snapshots. *)
+    - the ["span.<name>"] histogram of {!Metrics} (always, even for
+      sampled-out spans), so per-stage statistics are complete;
+    - the global bounded ring — a constant-size window over the most
+      recent events that backs the text summary and the exit-time sinks,
+      keeping in-process telemetry memory O(1) in run length;
+    - every {!subscribe}d live listener (the streaming sinks), which also
+      sees an [Opened] event when the span begins.
+
+    Nesting is tracked per domain ([Domain.DLS]) and carried on the event;
+    events from worker domains go to the same ring and bus, so nothing is
+    lost when a domain is joined.
+
+    High-frequency spans carry a deterministic [key] (batch ordinal,
+    generation number, worker slot) assigned before any fan-out;
+    {!Sampler} decides keep/drop from the pure [(name, key)] hash, so the
+    kept span set is identical at any [--jobs] count. *)
 
 type event = {
   name : string;
   ts_us : float;  (** start, microseconds since the process epoch *)
-  dur_us : float;
+  dur_us : float;  (** 0 on [Opened] bus events *)
   tid : int;  (** recording domain's id *)
   depth : int;  (** nesting depth within that domain *)
+  key : int;  (** sampling identity; 0 for unkeyed spans *)
 }
 
-val with_ : name:string -> (unit -> 'a) -> 'a
+type phase = Opened | Closed
+
+val with_ : name:string -> ?key:int -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span.  The event is recorded even when the thunk
     raises. *)
 
-val timed : name:string -> (unit -> 'a) -> 'a * float
+val timed : name:string -> ?key:int -> (unit -> 'a) -> 'a * float
 (** Like {!with_} but also returns the measured duration in seconds. *)
 
+val next_key : string -> int
+(** The next per-name ordinal (0, 1, 2, ...), for instrumentation sites
+    whose span has no natural index.  Call it in the coordinator before
+    fanning out, so the key is interleaving-independent.  {!reset_keys}
+    restarts every sequence. *)
+
+val reset_keys : unit -> unit
+
 val events : unit -> event list
-(** All events recorded so far, across every domain, sorted by start
-    time. *)
+(** The ring contents — the most recent kept events (up to
+    {!ring_capacity}), across every domain, sorted by start time. *)
+
+val dropped : unit -> int
+(** Events overwritten in the ring since the last {!clear}.  The streaming
+    sinks still saw them; only the in-memory window forgot them. *)
 
 val clear : unit -> unit
-(** Drop the recorded events (the ["span.*"] histograms are untouched). *)
+(** Empty the ring and zero {!dropped} (the ["span.*"] histograms are
+    untouched; listeners stay subscribed). *)
 
-val set_on_close : (event -> unit) option -> unit
-(** Install a hook called on every span close (used by the verbose text
-    sink).  [None] removes it. *)
+val set_ring_capacity : int -> unit
+(** Replace the ring with an empty one of the given capacity (default
+    4096).  @raise Invalid_argument when [capacity <= 0]. *)
+
+val ring_capacity : unit -> int
+
+val subscribe : (phase -> event -> unit) -> int
+(** Register a live sink called on every kept span open and close, from
+    the recording domain.  Returns an id for {!unsubscribe}.  Listeners
+    must be fast and must not raise. *)
+
+val unsubscribe : int -> unit

@@ -7,7 +7,9 @@ module Json = Yield_obs.Json
 module Histogram = Yield_obs.Histogram
 module Metrics = Yield_obs.Metrics
 module Span = Yield_obs.Span
+module Sampler = Yield_obs.Sampler
 module Sink = Yield_obs.Sink
+module Stream = Yield_obs.Stream
 module Montecarlo = Yield_process.Montecarlo
 module Pool = Yield_exec.Pool
 module Rng = Yield_stats.Rng
@@ -109,8 +111,23 @@ let test_histogram_empty () =
   let h = Histogram.create () in
   let s = Histogram.summarize h in
   Alcotest.(check int) "count" 0 s.Histogram.count;
-  check_float "p99 of empty" 0. s.Histogram.p99;
-  check_float "min of empty" 0. s.Histogram.min
+  check_float "sum of empty" 0. s.Histogram.sum;
+  (* no observations means no min/max/quantiles — nan, not a fake 0 that a
+     dashboard would read as "the fastest span took 0 s" *)
+  List.iter
+    (fun (what, v) ->
+      Alcotest.(check bool) (what ^ " of empty is nan") true (Float.is_nan v))
+    [
+      ("mean", s.Histogram.mean);
+      ("min", s.Histogram.min);
+      ("max", s.Histogram.max);
+      ("p50", s.Histogram.p50);
+      ("p99", s.Histogram.p99);
+    ];
+  (* and the JSON sinks therefore emit null for them *)
+  match Sink.histogram_fields s |> List.assoc "min" |> Json.to_string with
+  | "null" -> ()
+  | other -> Alcotest.failf "empty min serialised as %s, want null" other
 
 (* ---------- metrics registry ---------- *)
 
@@ -173,8 +190,8 @@ let test_json_roundtrip () =
 let test_chrome_trace_roundtrip () =
   let events =
     [
-      { Span.name = "alpha"; ts_us = 10.5; dur_us = 1000.25; tid = 0; depth = 0 };
-      { Span.name = "beta"; ts_us = 20.; dur_us = 4.; tid = 3; depth = 1 };
+      { Span.name = "alpha"; ts_us = 10.5; dur_us = 1000.25; tid = 0; depth = 0; key = 0 };
+      { Span.name = "beta"; ts_us = 20.; dur_us = 4.; tid = 3; depth = 1; key = 2 };
     ]
   in
   let text = Json.to_string (Sink.chrome_trace_of_events events) in
@@ -205,7 +222,16 @@ let test_jsonl_roundtrip () =
   done;
   Metrics.add (Metrics.counter "t.jsonl.counter") 7;
   let spans =
-    [ { Span.name = "t.jsonl.span"; ts_us = 1.; dur_us = 2.; tid = 0; depth = 0 } ]
+    [
+      {
+        Span.name = "t.jsonl.span";
+        ts_us = 1.;
+        dur_us = 2.;
+        tid = 0;
+        depth = 0;
+        key = 0;
+      };
+    ]
   in
   let text = Sink.jsonl_of ~spans (Metrics.snapshot ()) in
   let lines =
@@ -236,6 +262,217 @@ let test_jsonl_roundtrip () =
   match of_type "span" "t.jsonl.span" with
   | Some _ -> ()
   | None -> Alcotest.fail "span line missing"
+
+(* ---------- span ring, bus and keys ---------- *)
+
+let test_ring_bounds_memory () =
+  Span.clear ();
+  let saved = Span.ring_capacity () in
+  Span.set_ring_capacity 8;
+  Fun.protect
+    ~finally:(fun () -> Span.set_ring_capacity saved)
+    (fun () ->
+      for _ = 1 to 100 do
+        Span.with_ ~name:"t.ring" (fun () -> ())
+      done;
+      Alcotest.(check int) "window holds exactly the capacity" 8
+        (List.length (Span.events ()));
+      Alcotest.(check int) "the rest were rotated out" 92 (Span.dropped ());
+      (* the window is the most recent events, in start order *)
+      let es = events_named "t.ring" in
+      Alcotest.(check bool) "window sorted by start" true
+        (List.sort
+           (fun (a : Span.event) b -> Float.compare a.Span.ts_us b.Span.ts_us)
+           es
+        = es);
+      Span.clear ();
+      Alcotest.(check int) "clear resets the drop count" 0 (Span.dropped ()))
+
+let test_bus_sees_open_and_close () =
+  Span.clear ();
+  let seen = ref [] in
+  let id =
+    Span.subscribe (fun phase (e : Span.event) ->
+        if e.Span.name = "t.bus" then seen := (phase, e.Span.dur_us) :: !seen)
+  in
+  Fun.protect
+    ~finally:(fun () -> Span.unsubscribe id)
+    (fun () ->
+      Span.with_ ~name:"t.bus" (fun () -> ());
+      match List.rev !seen with
+      | [ (Span.Opened, d0); (Span.Closed, d1) ] ->
+          check_float "open event has no duration yet" 0. d0;
+          Alcotest.(check bool) "close event has the duration" true (d1 >= 0.)
+      | other -> Alcotest.failf "expected open+close, saw %d" (List.length other));
+  Span.with_ ~name:"t.bus" (fun () -> ());
+  Alcotest.(check int) "unsubscribed listener is silent" 2 (List.length !seen)
+
+let test_span_key_sequences () =
+  Span.reset_keys ();
+  let k0 = Span.next_key "t.seq.a" in
+  let k1 = Span.next_key "t.seq.a" in
+  let k2 = Span.next_key "t.seq.b" in
+  let k3 = Span.next_key "t.seq.a" in
+  Alcotest.(check (list int)) "per-name ordinals" [ 0; 1; 0; 2 ] [ k0; k1; k2; k3 ];
+  Span.reset_keys ();
+  Alcotest.(check int) "reset restarts the sequence" 0 (Span.next_key "t.seq.a")
+
+(* ---------- deterministic sampling ---------- *)
+
+let with_sampler spec f =
+  (match Sampler.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "spec %S rejected: %s" spec e);
+  Fun.protect ~finally:Sampler.clear f
+
+let test_sampler_spec_parsing () =
+  Alcotest.(check bool) "good spec" true
+    (Result.is_ok (Sampler.parse "mc.batch=0.1;exec.*=0,ga.generation=1"));
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bad spec %S rejected" bad)
+        true
+        (Result.is_error (Sampler.parse bad)))
+    [ "mc.batch"; "mc.batch=2"; "mc.batch=-0.5"; "=0.5"; "mc.batch=x" ]
+
+let test_sampler_rates_and_precedence () =
+  with_sampler "t.samp.always=1;t.samp.never=0;t.samp.*=0.5" (fun () ->
+      for key = 0 to 99 do
+        Alcotest.(check bool) "rate 1 keeps everything" true
+          (Sampler.keep ~name:"t.samp.always" ~key);
+        Alcotest.(check bool) "rate 0 drops everything" false
+          (Sampler.keep ~name:"t.samp.never" ~key)
+      done;
+      (* unmatched names are never sampled *)
+      Alcotest.(check bool) "no rule means keep" true
+        (Sampler.keep ~name:"t.other" ~key:0);
+      (* the prefix rule catches the rest at roughly its rate *)
+      let kept = ref 0 in
+      for key = 0 to 999 do
+        if Sampler.keep ~name:"t.samp.half" ~key then incr kept
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "rate 0.5 kept %d of 1000" !kept)
+        true
+        (!kept > 400 && !kept < 600))
+
+let test_sampler_is_a_pure_function () =
+  (* the whole determinism story rests on this: the decision depends on
+     (name, key) alone — recomputing it anywhere, in any order, on any
+     domain, gives the same answer *)
+  with_sampler "t.pure.*=0.3" (fun () ->
+      let forward = List.init 200 (fun k -> Sampler.keep ~name:"t.pure.x" ~key:k) in
+      let backward =
+        List.rev (List.init 200 (fun k -> Sampler.keep ~name:"t.pure.x" ~key:(199 - k)))
+      in
+      Alcotest.(check (list bool)) "order-independent" forward backward;
+      let from_domain =
+        Domain.join
+          (Domain.spawn (fun () ->
+               List.init 200 (fun k -> Sampler.keep ~name:"t.pure.x" ~key:k)))
+      in
+      Alcotest.(check (list bool)) "domain-independent" forward from_domain)
+
+let test_sampled_out_spans_still_feed_metrics () =
+  Span.clear ();
+  with_sampler "t.thin=0" (fun () ->
+      let h = Metrics.histogram "span.t.thin" in
+      let n0 = Histogram.count h in
+      for _ = 1 to 5 do
+        Span.with_ ~name:"t.thin" (fun () -> ())
+      done;
+      Alcotest.(check int) "no events in the ring" 0
+        (List.length (events_named "t.thin"));
+      Alcotest.(check int) "but every span observed in the histogram" 5
+        (Histogram.count h - n0))
+
+(* ---------- streaming sink ---------- *)
+
+let temp_path suffix =
+  Filename.temp_file "yieldlab_t_obs" suffix
+
+let test_stream_jsonl_roundtrip () =
+  let path = temp_path ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let s = Stream.create ~path () in
+      Alcotest.(check bool) "jsonl by extension" true
+        (Stream.format s = Stream.Jsonl);
+      let events =
+        List.init 5 (fun i ->
+            {
+              Span.name = "t.stream";
+              ts_us = float_of_int (10 * i);
+              dur_us = 3.5;
+              tid = 0;
+              depth = 0;
+              key = i;
+            })
+      in
+      List.iter
+        (fun e ->
+          Stream.write_event s Span.Opened e;
+          Stream.write_event s Span.Closed e)
+        events;
+      Stream.close s;
+      Stream.close s (* idempotent *);
+      let r = Stream.read_jsonl ~path in
+      Alcotest.(check bool) "no truncation" false r.Stream.truncated;
+      Alcotest.(check int) "open + close lines" 10 (List.length r.Stream.lines);
+      let back = Stream.spans_of_lines r.Stream.lines in
+      Alcotest.(check int) "span lines decode" 5 (List.length back);
+      List.iter2
+        (fun (a : Span.event) (b : Span.event) ->
+          Alcotest.(check string) "name" a.Span.name b.Span.name;
+          Alcotest.(check int) "key" a.Span.key b.Span.key;
+          check_float "ts" a.Span.ts_us b.Span.ts_us)
+        events back)
+
+let test_stream_tolerates_truncated_tail () =
+  let path = temp_path ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let s = Stream.create ~path () in
+      Stream.write_json s (Json.Obj [ ("type", Json.String "counter") ]);
+      Stream.write_json s (Json.Obj [ ("type", Json.String "counter") ]);
+      Stream.close s;
+      (* simulate a crash mid-write: chop the file inside the final line *)
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      let chopped = String.sub text 0 (String.length text - 4) in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc chopped);
+      let r = Stream.read_jsonl ~path in
+      Alcotest.(check bool) "truncation reported" true r.Stream.truncated;
+      Alcotest.(check int) "complete lines survive" 1 (List.length r.Stream.lines))
+
+let test_stream_chrome_crash_loadable () =
+  let path = temp_path ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let s = Stream.create ~path () in
+      Alcotest.(check bool) "chrome by extension" true
+        (Stream.format s = Stream.Chrome);
+      let e =
+        { Span.name = "t.ct"; ts_us = 1.; dur_us = 2.; tid = 0; depth = 0; key = 0 }
+      in
+      Stream.write_event s Span.Closed e;
+      Stream.write_event s Span.Closed e;
+      (* no close: the on-disk state is what a crash leaves behind; the
+         array is unterminated but every written element is complete *)
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      (match Json.parse (text ^ "]") with
+      | Json.List items ->
+          Alcotest.(check int) "both events present" 2 (List.length items)
+      | _ -> Alcotest.fail "not an array");
+      Stream.close s;
+      match Json.parse (In_channel.with_open_bin path In_channel.input_all) with
+      | Json.List items ->
+          Alcotest.(check int) "closed file parses as-is" 2 (List.length items)
+      | _ -> Alcotest.fail "closed file is not an array")
 
 (* ---------- instrumented Monte Carlo ---------- *)
 
@@ -299,6 +536,29 @@ let suites =
         Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
         Alcotest.test_case "chrome trace" `Quick test_chrome_trace_roundtrip;
         Alcotest.test_case "jsonl" `Quick test_jsonl_roundtrip;
+      ] );
+    ( "obs.ring",
+      [
+        Alcotest.test_case "bounded memory" `Quick test_ring_bounds_memory;
+        Alcotest.test_case "bus open/close" `Quick test_bus_sees_open_and_close;
+        Alcotest.test_case "key sequences" `Quick test_span_key_sequences;
+      ] );
+    ( "obs.sampler",
+      [
+        Alcotest.test_case "spec parsing" `Quick test_sampler_spec_parsing;
+        Alcotest.test_case "rates and precedence" `Quick
+          test_sampler_rates_and_precedence;
+        Alcotest.test_case "pure function" `Quick test_sampler_is_a_pure_function;
+        Alcotest.test_case "metrics stay complete" `Quick
+          test_sampled_out_spans_still_feed_metrics;
+      ] );
+    ( "obs.stream",
+      [
+        Alcotest.test_case "jsonl roundtrip" `Quick test_stream_jsonl_roundtrip;
+        Alcotest.test_case "truncated tail" `Quick
+          test_stream_tolerates_truncated_tail;
+        Alcotest.test_case "chrome crash-loadable" `Quick
+          test_stream_chrome_crash_loadable;
       ] );
     ( "obs.montecarlo",
       [

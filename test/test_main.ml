@@ -15,6 +15,7 @@ let () =
          T_circuits2.suites;
          T_behavioural.suites;
          T_core.suites;
+         T_telemetry.suites;
          T_resilience.suites;
          T_exec.suites;
          T_analyse.suites;
