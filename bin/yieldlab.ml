@@ -9,7 +9,9 @@
      design     yield-targeted design query against saved tables
      filter     the Section 5 filter design from an OTA description
      netlist    parse a SPICE-like netlist, solve DC, print the bias point
-     lint       preflight static analysis of netlists, .tbl models, configs *)
+     lint       preflight static analysis of netlists, .tbl models, configs
+     serve      long-lived table server (deadlines, shedding, hot reload)
+     loadgen    closed-loop bench / smoke probe against a running server *)
 
 module Ota = Yield_circuits.Ota
 module Tb = Yield_circuits.Ota_testbench
@@ -31,7 +33,9 @@ module Dcop = Yield_spice.Dcop
 module Netlist = Yield_spice.Netlist
 
 module Obs = Yield_obs.Obs
+module Json = Yield_obs.Json
 module Fault = Yield_resilience.Fault
+module Atomic_io = Yield_resilience.Atomic_io
 module Diagnostic = Yield_analyse.Diagnostic
 module Netlist_lint = Yield_analyse.Netlist_lint
 module Table_lint = Yield_analyse.Table_lint
@@ -123,8 +127,9 @@ let obs_term =
             "arm deterministic fault injection, e.g. \
              'dcop.solve:rate=0.2,seed=42;tbl.write:at=1'.  Points: \
              dcop.solve, dcop.newton, dcop.gmin, ac.solve, mc.sample, \
-             tbl.write, flow.wbga.generation, flow.mc.point.  Schedules: \
-             rate= (with optional seed=), count=, every=, at=")
+             tbl.write, flow.wbga.generation, flow.mc.point, serve.handler, \
+             serve.accept, serve.reload.  Schedules: rate= (with optional \
+             seed=), count=, every=, at=")
   in
   let jobs =
     Arg.(
@@ -1177,6 +1182,179 @@ let lint_cmd =
           suppression, worst-severity exit code")
     [ lint_netlist_cmd; lint_tbl_cmd; lint_config_cmd; lint_va_cmd ]
 
+(* ---------- serve / loadgen ---------- *)
+
+module Addr = Yield_serve.Addr
+module Server = Yield_serve.Server
+module Loadgen = Yield_serve.Loadgen
+module Client = Yield_serve.Client
+
+let addr_conv ~what =
+  let parse s =
+    match Addr.parse s with Ok a -> Ok a | Error msg -> Error (`Msg msg)
+  in
+  let print ppf a = Format.pp_print_string ppf (Addr.to_string a) in
+  ignore what;
+  Arg.conv (parse, print)
+
+let default_addr = Addr.Unix_sock "yieldlab.sock"
+
+let serve listen tables_dir deadline_ms queue_cap max_conns drain_grace quiet =
+  let log = if quiet then ignore else prerr_endline in
+  let cfg =
+    {
+      (Server.default ~addr:listen ~tables_dir) with
+      Server.jobs = Yield_exec.Jobs.resolve ();
+      deadline_s = deadline_ms /. 1e3;
+      queue_capacity = queue_cap;
+      max_conns;
+      drain_grace_s = drain_grace;
+      log;
+    }
+  in
+  Server.run cfg
+
+let serve_cmd =
+  let listen =
+    Arg.(
+      value
+      & opt (addr_conv ~what:"listen") default_addr
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "address to serve on: $(b,unix:PATH) or $(b,tcp:HOST:PORT) \
+             (default $(b,unix:yieldlab.sock))")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt float 250.
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "per-request deadline in milliseconds; a query that cannot be \
+             answered in time gets a typed $(b,timeout) frame.  0 disables")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "admission queue bound; beyond it requests are shed immediately \
+             with an $(b,overloaded) frame")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-conns" ] ~docv:"N" ~doc:"concurrent connection limit")
+  in
+  let drain_grace =
+    Arg.(
+      value & opt float 5.
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:"maximum time to finish in-flight work when draining")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"suppress the server log lines")
+  in
+  obs_cmd
+    (Cmd.info "serve"
+       ~doc:
+         "serve the saved model tables over a socket: line-delimited JSON \
+          queries (ping/lookup/design plus health/ready/reload/shutdown), \
+          per-request deadlines, bounded-queue load shedding, lint-gated \
+          hot reload on SIGHUP, graceful drain on SIGTERM")
+    Term.(
+      const (fun l t d q m g quiet () -> serve l t d q m g quiet)
+      $ listen $ tables_dir_term $ deadline_ms $ queue_cap $ max_conns
+      $ drain_grace $ quiet)
+
+let probe addr op =
+  match Client.connect addr with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "yieldlab: cannot reach %s: %s\n" (Addr.to_string addr)
+        (Unix.error_message e);
+      1
+  | c ->
+      let outcome =
+        try
+          let frame = Client.request c (Json.Obj [ ("op", Json.String op) ]) in
+          print_endline (Json.to_string frame);
+          (match Json.member "ok" frame with
+          | Some (Json.Bool true) -> 0
+          | Some _ | None -> 1)
+        with Failure msg | Unix.Unix_error (_, msg, _) ->
+          Printf.eprintf "yieldlab: probe failed: %s\n" msg;
+          1
+      in
+      Client.close c;
+      outcome
+
+let loadgen addr clients duration seed probe_op out =
+  match probe_op with
+  | Some op -> probe addr op
+  | None -> begin
+      match Loadgen.run ~seed ~addr ~clients ~duration_s:duration () with
+      | Error msg ->
+          Printf.eprintf "yieldlab: %s\n" msg;
+          1
+      | Ok r ->
+          print_endline (Loadgen.to_text r);
+          (match out with
+          | None -> ()
+          | Some path ->
+              Atomic_io.write_file ~path (Json.to_string (Loadgen.to_json r));
+              Printf.printf "wrote %s\n" path);
+          if r.Loadgen.sent > 0 && r.Loadgen.ok = 0 then 1 else 0
+    end
+
+let loadgen_cmd =
+  let addr =
+    Arg.(
+      value
+      & opt (addr_conv ~what:"addr") default_addr
+      & info [ "addr" ] ~docv:"ADDR"
+          ~doc:"server address: $(b,unix:PATH) or $(b,tcp:HOST:PORT)")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"concurrent client connections")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"how long to drive load")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"deterministic op-mix seed")
+  in
+  let probe_op =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "probe" ] ~docv:"OP"
+          ~doc:
+            "one-shot mode: send a single $(i,OP) request (e.g. $(b,health), \
+             $(b,ready)), print the response frame, exit 0 iff it is \
+             $(b,ok:true)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"write the bench document (yieldlab-bench-serve/v1) to FILE")
+  in
+  obs_cmd
+    (Cmd.info "loadgen"
+       ~doc:
+         "drive closed-loop load at a running server and report throughput \
+          and latency percentiles (p50/p95/p99); $(b,--probe) sends one \
+          admin request for smoke checks")
+    Term.(
+      const (fun a c d s p o () -> loadgen a c d s p o)
+      $ addr $ clients $ duration $ seed $ probe_op $ out)
+
 (* ---------- main ---------- *)
 
 let () =
@@ -1203,4 +1381,6 @@ let () =
             export_va_cmd;
             netlist_cmd;
             lint_cmd;
+            serve_cmd;
+            loadgen_cmd;
           ]))

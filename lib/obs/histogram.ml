@@ -16,6 +16,7 @@ type summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 
@@ -86,6 +87,7 @@ let summarize t =
       max = Float.nan;
       p50 = Float.nan;
       p90 = Float.nan;
+      p95 = Float.nan;
       p99 = Float.nan;
     }
   else begin
@@ -98,6 +100,7 @@ let summarize t =
       max = vmax;
       p50 = quantile_of_sorted values 0.5;
       p90 = quantile_of_sorted values 0.9;
+      p95 = quantile_of_sorted values 0.95;
       p99 = quantile_of_sorted values 0.99;
     }
   end

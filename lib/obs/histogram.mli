@@ -14,6 +14,7 @@ type summary = {
   max : float;  (** nan when empty *)
   p50 : float;  (** nan when empty *)
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 
@@ -30,5 +31,11 @@ val summarize : t -> summary
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [0, 1]; linear interpolation between order
     statistics of the reservoir.  0. when empty. *)
+
+val quantile_of_sorted : float array -> float -> float
+(** The interpolation rule behind {!quantile} and {!summarize}, exposed for
+    consumers holding their own exact sorted sample (e.g. the load
+    generator's latency array): linear interpolation between order
+    statistics, 0. on an empty array. *)
 
 val reset : t -> unit

@@ -31,6 +31,7 @@ let histogram_fields (s : Histogram.summary) =
     ("max", Json.Float s.Histogram.max);
     ("p50", Json.Float s.Histogram.p50);
     ("p90", Json.Float s.Histogram.p90);
+    ("p95", Json.Float s.Histogram.p95);
     ("p99", Json.Float s.Histogram.p99);
   ]
 
@@ -99,10 +100,10 @@ let text_of ?(spans = []) (snap : Metrics.snapshot) =
           Printf.bprintf b "  %-32s n=0        (empty)\n" name
         else
           Printf.bprintf b
-            "  %-32s n=%-8d mean=%-10.4g p50=%-10.4g p90=%-10.4g p99=%-10.4g \
+            "  %-32s n=%-8d mean=%-10.4g p50=%-10.4g p95=%-10.4g p99=%-10.4g \
              min=%-10.4g max=%.4g\n"
             name s.Histogram.count s.Histogram.mean s.Histogram.p50
-            s.Histogram.p90 s.Histogram.p99 s.Histogram.min s.Histogram.max)
+            s.Histogram.p95 s.Histogram.p99 s.Histogram.min s.Histogram.max)
       snap.Metrics.histograms
   end;
   if spans <> [] then begin

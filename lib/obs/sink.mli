@@ -15,7 +15,7 @@ val chrome_trace_of_events : Span.event list -> Json.t
 
 val histogram_fields : Histogram.summary -> (string * Json.t) list
 (** The canonical JSON field list of a histogram summary
-    (count/sum/mean/min/max/p50/p90/p99) — the single definition every
+    (count/sum/mean/min/max/p50/p90/p95/p99) — the single definition every
     sink and the bench harness share.  Non-finite values (the nan
     min/max/quantiles of an empty histogram) serialise as [null]. *)
 
@@ -36,7 +36,7 @@ val span_of_json : Json.t -> Span.event option
 val jsonl_of : ?spans:Span.event list -> Metrics.snapshot -> string
 (** One line per counter ([{"type":"counter","name",...,"value":...}]),
     histogram ([{"type":"histogram",...}], with count/sum/mean/min/max and
-    p50/p90/p99) and span event ([{"type":"span",...}]). *)
+    p50/p90/p95/p99) and span event ([{"type":"span",...}]). *)
 
 val text_of : ?spans:Span.event list -> Metrics.snapshot -> string
 (** An aligned human-readable summary of the same data. *)

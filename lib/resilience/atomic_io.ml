@@ -1,14 +1,32 @@
 let temp_path path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
 
+(* Directory entries are metadata of the *parent*: after a rename, the new
+   name only survives a power loss once the directory itself is synced.
+   Best-effort — some filesystems refuse fsync on a directory fd (EINVAL),
+   which is fine: they are the ones that do not need it. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
 let write_file ~path contents =
   let tmp = temp_path path in
   (try
      Out_channel.with_open_bin tmp (fun oc ->
-         Out_channel.output_string oc contents)
+         Out_channel.output_string oc contents;
+         Out_channel.flush oc;
+         (* the data must be durable before the rename publishes the name:
+            rename-then-sync can survive a crash as a complete name pointing
+            at unwritten blocks *)
+         try Unix.fsync (Unix.descr_of_out_channel oc)
+         with Unix.Unix_error _ -> ())
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 let read_file ~path =
   In_channel.with_open_bin path (fun ic ->

@@ -5,11 +5,19 @@
     fault) at any instant leaves either the old file or the new one on
     disk — never a torn mixture.  Every persistent artefact of the flow
     ([.tbl] tables, checkpoints, telemetry sinks) goes through this
-    pattern. *)
+    pattern.
+
+    Durability, not just atomicity: the temporary is [fsync]ed before the
+    rename (the data must be on disk before the name points at it) and the
+    parent directory is [fsync]ed after it (the directory entry is the
+    parent's metadata) — so a published write also survives power loss,
+    not only process kills.  Both syncs are best-effort: filesystems that
+    reject them are treated as not needing them. *)
 
 val write_file : path:string -> string -> unit
-(** Atomic whole-file write (temp + rename).  On failure the temporary is
-    removed and the target is untouched. *)
+(** Atomic, durable whole-file write (temp + fsync + rename + parent-dir
+    fsync).  On failure the temporary is removed and the target is
+    untouched. *)
 
 val read_file : path:string -> string
 

@@ -10,6 +10,7 @@ type policy = {
   c_recovered : Metrics.counter;
   c_exhausted : Metrics.counter;
   c_permanent : Metrics.counter;
+  c_deadline : Metrics.counter;
 }
 
 let policy ?(max_attempts = 3) name =
@@ -22,18 +23,29 @@ let policy ?(max_attempts = 3) name =
     c_recovered = Metrics.counter ("retry." ^ name ^ ".recovered");
     c_exhausted = Metrics.counter ("retry." ^ name ^ ".exhausted");
     c_permanent = Metrics.counter ("retry." ^ name ^ ".permanent");
+    c_deadline = Metrics.counter ("retry." ^ name ^ ".deadline_stopped");
   }
 
 let name p = p.name
 
 let max_attempts p = p.max_attempts
 
-let with_retries p ~classify f =
+let with_retries ?deadline_s p ~classify f =
   let finish attempts outcome =
     Metrics.observe p.h_attempts (float_of_int attempts);
     outcome
   in
+  (* a retry is only worth starting when it can plausibly finish inside the
+     deadline; the previous attempt's duration is the estimate.  Giving up
+     here counts as exhaustion, so the [injected = retries + exhausted]
+     accounting identity survives the deadline cut. *)
+  let deadline_blocks_retry ~attempt_s =
+    match deadline_s with
+    | None -> false
+    | Some d -> Yield_obs.Clock.now_s () +. attempt_s > d
+  in
   let rec go attempt =
+    let t0 = Yield_obs.Clock.now_s () in
     match f ~attempt with
     | Ok _ as ok ->
         if attempt > 1 then Metrics.incr p.c_recovered;
@@ -44,13 +56,20 @@ let with_retries p ~classify f =
             Metrics.incr p.c_permanent;
             finish attempt err
         | Transient ->
-            if attempt < p.max_attempts then begin
-              Metrics.incr p.c_retries;
-              go (attempt + 1)
-            end
-            else begin
+            if attempt >= p.max_attempts then begin
               Metrics.incr p.c_exhausted;
               finish attempt err
+            end
+            else if
+              deadline_blocks_retry ~attempt_s:(Yield_obs.Clock.now_s () -. t0)
+            then begin
+              Metrics.incr p.c_deadline;
+              Metrics.incr p.c_exhausted;
+              finish attempt err
+            end
+            else begin
+              Metrics.incr p.c_retries;
+              go (attempt + 1)
             end
       end
   in

@@ -28,10 +28,20 @@ val name : policy -> string
 val max_attempts : policy -> int
 
 val with_retries :
+  ?deadline_s:float ->
   policy ->
   classify:('e -> classification) ->
   (attempt:int -> ('a, 'e) result) ->
   ('a, 'e) result
 (** [with_retries p ~classify f] calls [f ~attempt:1], retrying transient
     errors with increasing [attempt] up to the policy bound.  Returns the
-    first success or the last failure. *)
+    first success or the last failure.
+
+    [deadline_s] is an {e absolute} monotonic deadline (the
+    {!Yield_obs.Clock.now_s} timebase): after a transient failure, a retry
+    is launched only when it can plausibly finish before the deadline —
+    [now + previous attempt's duration <= deadline_s].  Stopping on the
+    deadline counts into [retry.<name>.exhausted] (so the accounting
+    identity above still holds) and additionally into
+    [retry.<name>.deadline_stopped].  The first attempt always runs;
+    callers enforce admission deadlines themselves. *)

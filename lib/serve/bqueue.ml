@@ -1,0 +1,33 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  lock : Mutex.t;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity < 1";
+  { capacity; q = Queue.create (); lock = Mutex.create () }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Queue.length t.q)
+
+let try_push t x =
+  locked t (fun () ->
+      if Queue.length t.q >= t.capacity then false
+      else begin
+        Queue.push x t.q;
+        true
+      end)
+
+let pop_up_to t ~max =
+  locked t (fun () ->
+      let rec go n acc =
+        if n >= max || Queue.is_empty t.q then List.rev acc
+        else go (n + 1) (Queue.pop t.q :: acc)
+      in
+      go 0 [])

@@ -1,0 +1,22 @@
+(** A bounded FIFO with explicit rejection — the server's admission queue.
+
+    The bound is the backpressure policy: once [capacity] requests are
+    waiting, {!try_push} refuses and the caller sheds the load with a typed
+    [overloaded] frame instead of growing memory without limit.  Mutex-
+    protected, so depth can be read (for [health]) while the control loop
+    pushes and pops. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full — the item was {e not} admitted. *)
+
+val pop_up_to : 'a t -> max:int -> 'a list
+(** Remove and return up to [max] items in FIFO order ([[]] when empty). *)

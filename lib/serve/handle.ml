@@ -1,0 +1,88 @@
+module Json = Yield_obs.Json
+module Perf_model = Yield_behavioural.Perf_model
+module Yield_target = Yield_behavioural.Yield_target
+
+let design_json (p : Perf_model.point) =
+  Json.Obj
+    [
+      ("gain", Json.Float p.Perf_model.gain_db);
+      ("pm", Json.Float p.Perf_model.pm_deg);
+      ( "params",
+        Json.List
+          (Array.to_list (Array.map (fun v -> Json.Float v) p.Perf_model.params))
+      );
+      ("rout", Json.Float p.Perf_model.rout);
+      ("fu", Json.Float p.Perf_model.unity_gain_hz);
+    ]
+
+let query (snap : Snapshot.t) q =
+  match q with
+  | Wire.Ping -> Ok ("ping", [])
+  | Wire.Lookup { gain_db; pm_deg } -> begin
+      (* [Perf_model.lookup] projects the query onto the front curve, so it
+         would silently clamp a wild query; the server speaks the "3E"
+         no-extrapolation contract and refuses outside the table domain *)
+      let out_of name value (lo, hi) =
+        if value < lo || value > hi then
+          Some
+            (Printf.sprintf "%s %g outside the model domain [%g, %g]" name
+               value lo hi)
+        else None
+      in
+      let domain_miss =
+        match out_of "gain" gain_db (Perf_model.gain_range snap.Snapshot.perf)
+        with
+        | Some _ as m -> m
+        | None -> out_of "pm" pm_deg (Perf_model.pm_range snap.Snapshot.perf)
+      in
+      match domain_miss with
+      | Some message -> Error { Wire.code = Wire.Out_of_range; message }
+      | None -> begin
+          match Perf_model.lookup snap.Snapshot.perf ~gain_db ~pm_deg with
+          | point -> Ok ("lookup", [ ("design", design_json point) ])
+          | exception Yield_table.Table1d.Out_of_range { value; lo; hi } ->
+              Error
+                {
+                  Wire.code = Wire.Out_of_range;
+                  message =
+                    Printf.sprintf "%g outside the model domain [%g, %g]"
+                      value lo hi;
+                }
+        end
+    end
+  | Wire.Design { min_gain_db; min_pm_deg } -> begin
+      let spec = { Yield_target.min_gain_db; min_pm_deg } in
+      match Yield_target.plan snap.Snapshot.macromodel spec with
+      | Error msg -> Error { Wire.code = Wire.Out_of_range; message = msg }
+      | Ok plan ->
+          let p = plan.Yield_target.proposal in
+          let m = p.Yield_behavioural.Macromodel.design in
+          Ok
+            ( "design",
+              [
+                ( "proposal",
+                  Json.Obj
+                    [
+                      ( "gain_delta_pct",
+                        Json.Float p.Yield_behavioural.Macromodel.gain_delta_pct
+                      );
+                      ( "pm_delta_pct",
+                        Json.Float p.Yield_behavioural.Macromodel.pm_delta_pct );
+                      ( "proposed_gain",
+                        Json.Float
+                          p.Yield_behavioural.Macromodel.proposed_gain_db );
+                      ( "proposed_pm",
+                        Json.Float p.Yield_behavioural.Macromodel.proposed_pm_deg
+                      );
+                    ] );
+                ("design", design_json m);
+                ( "worst_case",
+                  Json.Obj
+                    [
+                      ("gain", Json.Float plan.Yield_target.worst_case_gain_db);
+                      ("pm", Json.Float plan.Yield_target.worst_case_pm_deg);
+                    ] );
+                ( "predicted_yield",
+                  Json.Float (Yield_target.predicted_yield plan) );
+              ] )
+    end

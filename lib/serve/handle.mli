@@ -1,0 +1,13 @@
+(** Pure query evaluation against one model snapshot.
+
+    No IO, no clocks, no shared state: given the same snapshot and query,
+    the same answer — which is what lets the server fan request handling
+    out over the {!Yield_exec.Pool} without ordering concerns, and what
+    the unit tests exercise without a socket in sight. *)
+
+val query :
+  Snapshot.t -> Wire.query ->
+  (string * (string * Yield_obs.Json.t) list, Wire.err) result
+(** [Ok (op, fields)] is rendered by {!Wire.ok_frame}; [Error] maps table
+    domain misses to [out_of_range] (the ["3E"] no-extrapolation controls)
+    and anything unexpected to [internal]. *)

@@ -1,0 +1,228 @@
+module Json = Yield_obs.Json
+module Clock = Yield_obs.Clock
+module Histogram = Yield_obs.Histogram
+
+type mix = { ping : int; lookup : int; design : int }
+
+type result = {
+  clients : int;
+  elapsed_s : float;
+  sent : int;
+  ok : int;
+  errors : int;
+  overloaded : int;
+  timeouts : int;
+  throughput_rps : float;
+  latency_us : float array;
+}
+
+type ranges = {
+  gain_lo : float;
+  gain_hi : float;
+  pm_lo : float;
+  pm_hi : float;
+}
+
+let probe_ranges addr =
+  match Client.connect addr with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot reach %s: %s" (Addr.to_string addr)
+           (Unix.error_message e))
+  | c -> (
+      let frame =
+        try Ok (Client.request c (Json.Obj [ ("op", Json.String "health") ]))
+        with Failure msg | Unix.Unix_error (_, msg, _) -> Error msg
+      in
+      Client.close c;
+      match frame with
+      | Error msg -> Error ("health probe failed: " ^ msg)
+      | Ok frame -> (
+          let pair path =
+            match Json.member "model" frame with
+            | Some model -> (
+                match Json.member path model with
+                | Some (Json.List [ a; b ]) -> (
+                    match (Json.number_value a, Json.number_value b) with
+                    | Some lo, Some hi -> Some (lo, hi)
+                    | _ -> None)
+                | _ -> None)
+            | None -> None
+          in
+          match (pair "gain_range", pair "pm_range") with
+          | Some (gain_lo, gain_hi), Some (pm_lo, pm_hi) ->
+              Ok { gain_lo; gain_hi; pm_lo; pm_hi }
+          | _ -> Error "health probe failed: no model ranges in the frame"))
+
+type tally = {
+  mutable t_sent : int;
+  mutable t_ok : int;
+  mutable t_errors : int;
+  mutable t_overloaded : int;
+  mutable t_timeouts : int;
+  lat : float list ref;
+}
+
+let classify tally frame lat_us =
+  tally.lat := lat_us :: !(tally.lat);
+  match Json.member "ok" frame with
+  | Some (Json.Bool true) -> tally.t_ok <- tally.t_ok + 1
+  | _ -> (
+      let code =
+        match Json.member "error" frame with
+        | Some err -> (
+            match Json.member "code" err with
+            | Some (Json.String c) -> c
+            | _ -> "")
+        | None -> ""
+      in
+      match code with
+      | "overloaded" -> tally.t_overloaded <- tally.t_overloaded + 1
+      | "timeout" -> tally.t_timeouts <- tally.t_timeouts + 1
+      | _ -> tally.t_errors <- tally.t_errors + 1)
+
+(* inner 80% of each range: stay clear of the edges so interpolation
+   noise at the table boundary cannot turn into out_of_range chatter *)
+let sample_in rng lo hi =
+  let span = hi -. lo in
+  lo +. (span *. 0.1) +. (Random.State.float rng (span *. 0.8))
+
+let pick_op rng mix ranges =
+  let total = mix.ping + mix.lookup + mix.design in
+  let r = Random.State.int rng total in
+  if r < mix.ping then Json.Obj [ ("op", Json.String "ping") ]
+  else if r < mix.ping + mix.lookup then
+    Json.Obj
+      [
+        ("op", Json.String "lookup");
+        ("gain", Json.Float (sample_in rng ranges.gain_lo ranges.gain_hi));
+        ("pm", Json.Float (sample_in rng ranges.pm_lo ranges.pm_hi));
+      ]
+  else
+    Json.Obj
+      [
+        ("op", Json.String "design");
+        ("min_gain", Json.Float (sample_in rng ranges.gain_lo ranges.gain_hi));
+        ("min_pm", Json.Float (sample_in rng ranges.pm_lo ranges.pm_hi));
+      ]
+
+let client_loop ~addr ~seed ~mix ~ranges ~until_s =
+  let tally =
+    {
+      t_sent = 0;
+      t_ok = 0;
+      t_errors = 0;
+      t_overloaded = 0;
+      t_timeouts = 0;
+      lat = ref [];
+    }
+  in
+  (match Client.connect addr with
+  | exception Unix.Unix_error _ -> ()
+  | c ->
+      let rng = Random.State.make [| seed |] in
+      (try
+         while Clock.now_s () < until_s do
+           let req = pick_op rng mix ranges in
+           let t0 = Clock.now_s () in
+           tally.t_sent <- tally.t_sent + 1;
+           let frame = Client.request c req in
+           classify tally frame ((Clock.now_s () -. t0) *. 1e6)
+         done
+       with Failure _ | Unix.Unix_error _ ->
+         (* server drained or dropped us mid-run: keep what we measured *)
+         ());
+      Client.close c);
+  tally
+
+let default_mix = { ping = 1; lookup = 6; design = 3 }
+
+let run ?(seed = 42) ?(mix = default_mix) ~addr ~clients ~duration_s () =
+  if clients < 1 then invalid_arg "Loadgen.run: clients < 1";
+  if mix.ping + mix.lookup + mix.design <= 0 then
+    invalid_arg "Loadgen.run: empty op mix";
+  match probe_ranges addr with
+  | Error _ as e -> e
+  | Ok ranges ->
+      let started = Clock.now_s () in
+      let until_s = started +. duration_s in
+      let domains =
+        List.init (clients - 1) (fun i ->
+            Domain.spawn (fun () ->
+                client_loop ~addr ~seed:(seed + i + 1) ~mix ~ranges ~until_s))
+      in
+      let own = client_loop ~addr ~seed ~mix ~ranges ~until_s in
+      let tallies = own :: List.map Domain.join domains in
+      let elapsed_s = Clock.now_s () -. started in
+      let sum f = List.fold_left (fun acc t -> acc + f t) 0 tallies in
+      let ok = sum (fun t -> t.t_ok) in
+      let latency_us =
+        Array.of_list (List.concat_map (fun t -> !(t.lat)) tallies)
+      in
+      Array.sort Float.compare latency_us;
+      Ok
+        {
+          clients;
+          elapsed_s;
+          sent = sum (fun t -> t.t_sent);
+          ok;
+          errors = sum (fun t -> t.t_errors);
+          overloaded = sum (fun t -> t.t_overloaded);
+          timeouts = sum (fun t -> t.t_timeouts);
+          throughput_rps =
+            (if elapsed_s > 0. then float_of_int ok /. elapsed_s else 0.);
+          latency_us;
+        }
+
+let latency_json r =
+  let n = Array.length r.latency_us in
+  let q p = Histogram.quantile_of_sorted r.latency_us p in
+  let mean =
+    if n = 0 then Float.nan
+    else Array.fold_left ( +. ) 0. r.latency_us /. float_of_int n
+  in
+  Json.Obj
+    [
+      ("count", Json.Int n);
+      ("mean", Json.Float mean);
+      ("min", Json.Float (if n = 0 then Float.nan else r.latency_us.(0)));
+      ("max", Json.Float (if n = 0 then Float.nan else r.latency_us.(n - 1)));
+      ("p50", Json.Float (q 0.5));
+      ("p90", Json.Float (q 0.9));
+      ("p95", Json.Float (q 0.95));
+      ("p99", Json.Float (q 0.99));
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String "yieldlab-bench-serve/v1");
+      ("clients", Json.Int r.clients);
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ( "requests",
+        Json.Obj
+          [
+            ("sent", Json.Int r.sent);
+            ("ok", Json.Int r.ok);
+            ("errors", Json.Int r.errors);
+            ("overloaded", Json.Int r.overloaded);
+            ("timeouts", Json.Int r.timeouts);
+          ] );
+      ("throughput_rps", Json.Float r.throughput_rps);
+      ("latency_us", latency_json r);
+    ]
+
+let to_text r =
+  let n = Array.length r.latency_us in
+  let q p =
+    if n = 0 then "-"
+    else
+      Printf.sprintf "%.0f" (Histogram.quantile_of_sorted r.latency_us p)
+  in
+  Printf.sprintf
+    "loadgen: %d clients, %.2f s\n\
+    \  sent %d | ok %d | errors %d | overloaded %d | timeouts %d\n\
+    \  throughput %.0f req/s\n\
+    \  latency_us p50 %s | p95 %s | p99 %s"
+    r.clients r.elapsed_s r.sent r.ok r.errors r.overloaded r.timeouts
+    r.throughput_rps (q 0.5) (q 0.95) (q 0.99)

@@ -1,0 +1,50 @@
+(** Closed-loop load generator for the table server — the bench behind
+    [BENCH_serve.json] and the CI smoke job.
+
+    [clients] domains each hold one connection and issue synchronous
+    requests back-to-back (closed loop: offered load adapts to observed
+    latency).  The op mix is drawn from a per-client deterministic RNG
+    seeded with [seed + client index], and lookup/design arguments are
+    sampled {e inside} the served model's ranges (read from the [health]
+    endpoint up front), so a healthy run has zero [out_of_range] noise.
+
+    Every response is classified by its frame ([ok] / [overloaded] /
+    [timeout] / other error) and timed; latencies are exact (every request
+    kept, merged and sorted across clients), not reservoir-sampled. *)
+
+type mix = { ping : int; lookup : int; design : int }
+(** Relative op weights; at least one must be positive. *)
+
+type result = {
+  clients : int;
+  elapsed_s : float;
+  sent : int;
+  ok : int;
+  errors : int;  (** failure frames other than overloaded/timeout *)
+  overloaded : int;
+  timeouts : int;
+  throughput_rps : float;  (** ok frames per second *)
+  latency_us : float array;  (** sorted, one entry per response *)
+}
+
+val run :
+  ?seed:int ->
+  ?mix:mix ->
+  addr:Addr.t ->
+  clients:int ->
+  duration_s:float ->
+  unit ->
+  (result, string) Stdlib.result
+(** Probe [health] for the model ranges, then drive [clients] connections
+    for [duration_s].  Default mix [{ping = 1; lookup = 6; design = 3}],
+    default [seed] 42.  [Error] when the server cannot be reached or the
+    health probe fails. *)
+
+val to_json : result -> Yield_obs.Json.t
+(** The [BENCH_serve.json] document ([yieldlab-bench-serve/v1]):
+    [requests {sent; ok; errors; overloaded; timeouts}], [throughput_rps]
+    and [latency_us {count; mean; min; max; p50; p90; p95; p99}] (via
+    {!Yield_obs.Histogram.quantile_of_sorted} over the exact latencies). *)
+
+val to_text : result -> string
+(** Human-readable one-screen summary for the CLI. *)

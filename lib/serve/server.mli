@@ -1,0 +1,71 @@
+(** The long-lived table server: the paper's "µs table lookup instead of
+    hours of simulation", operationalised behind a socket — engineered for
+    its worst minute, not its best.
+
+    One control domain owns all IO (accept, line framing, response
+    writes) in a [select] loop; request {e handling} fans out over a
+    shared {!Yield_exec.Pool} of [jobs] domains.  Every robustness
+    property is structural:
+
+    - {b Deadlines}: each admitted query carries its admission timestamp
+      ({!Yield_obs.Clock.now_s}, monotonic); one that expires in the queue
+      or under handling answers with a typed [timeout] frame.  Transient
+      handler failures are retried under a deadline-aware
+      {!Yield_resilience.Retry} budget — a retry that cannot finish in
+      time is not launched.
+    - {b Backpressure}: admission goes through a bounded {!Bqueue}; when
+      it is full the request is shed {e immediately} with an [overloaded]
+      frame (counted in [serve.shed]) instead of growing memory.  Slow
+      readers are bounded too: a connection whose unsent output exceeds
+      [max_out_buffer] is dropped, not buffered forever.
+    - {b Hot reload} (SIGHUP or [{"op":"reload"}]): the candidate tables
+      are linted ({!Snapshot.load}) and an immutable new snapshot swapped
+      in atomically only if lint passes.  Requests capture the snapshot
+      reference at admission, so in-flight work finishes on the old
+      models and a rejected reload changes nothing — zero dropped
+      queries either way.
+    - {b Health/drain}: [health] reports uptime, generation, queue depth,
+      counters and the current snapshot's lint findings (plus the last
+      rejected reload's); [ready] is the load-balancer probe.  SIGTERM
+      (or [{"op":"shutdown"}]) drains: stop accepting, answer everything
+      in flight, flush, exit 0.
+    - {b Hostile input}: oversized lines, invalid JSON, unknown ops and
+      truncated frames each get a typed error frame (or a silent close
+      when no frame boundary exists) and never kill the process.
+    - {b Chaos}: the [serve.handler] / [serve.accept] / [serve.reload]
+      fault points ({!Yield_resilience.Fault}, [--fault-spec]) inject
+      deterministic failures into each of those paths. *)
+
+type config = {
+  addr : Addr.t;
+  tables_dir : string;
+  control : string;  (** table-model control string, e.g. ["3E"] *)
+  jobs : int;  (** pool width for request handling *)
+  deadline_s : float;  (** per-request deadline; [<= 0] disables *)
+  queue_capacity : int;  (** admission queue bound (backpressure) *)
+  max_line : int;  (** request lines longer than this are [oversized] *)
+  max_out_buffer : int;  (** unsent bytes before a slow client is dropped *)
+  max_conns : int;  (** concurrent connections accepted *)
+  tick_s : float;  (** select timeout: flag-polling latency bound *)
+  drain_grace_s : float;  (** max time to finish in-flight work on drain *)
+  handler_attempts : int;  (** retry bound for transient handler failures *)
+  log : string -> unit;
+}
+
+val default : addr:Addr.t -> tables_dir:string -> config
+(** 250 ms deadline, queue 1024, 64 KiB lines, 4 MiB out-buffer, 1024
+    conns, 20 ms tick, 5 s drain grace, 3 handler attempts, silent log. *)
+
+val run : ?on_ready:(unit -> unit) -> ?signals:bool -> config -> int
+(** Load the initial snapshot (refusing to start — exit 1 — when lint
+    finds errors), bind, call [on_ready], serve until drained; returns the
+    process exit code.  [signals] (default [true]) installs SIGHUP →
+    reload, SIGTERM → drain, SIGPIPE → ignore for the duration (tests
+    pass [~signals:false] and drive everything over the wire).
+
+    Counters ([serve.requests] / [.served] / [.rejected] / [.shed] /
+    [.timeouts] / [.failed] / [.bad_input] / [.oversized] / [.reloads.*] /
+    [.conns.*] / [.slow_client_drops] / [.accept_failures]) and the
+    [serve.latency_us] histogram land in the process-wide
+    {!Yield_obs.Metrics} registry — the [health] endpoint reports the
+    registry values (cumulative per process, like every other metric). *)

@@ -1,0 +1,36 @@
+module Flow = Yield_core.Flow
+module Diagnostic = Yield_analyse.Diagnostic
+module Macromodel = Yield_behavioural.Macromodel
+
+type t = {
+  generation : int;
+  dir : string;
+  control : string;
+  perf : Yield_behavioural.Perf_model.t;
+  var : Yield_behavioural.Var_model.t;
+  macromodel : Macromodel.t;
+  findings : Diagnostic.t list;
+  loaded_at_s : float;
+}
+
+let load ~generation ~dir ~control =
+  let findings = Flow.lint_models ~dir ~control () in
+  if Diagnostic.count Diagnostic.Error findings > 0 then
+    Error ("lint rejected the candidate tables", findings)
+  else begin
+    match Flow.load_models ~dir ~control with
+    | exception Failure msg -> Error (msg, findings)
+    | exception Sys_error msg -> Error (msg, findings)
+    | perf, var ->
+        Ok
+          {
+            generation;
+            dir;
+            control;
+            perf;
+            var;
+            macromodel = Macromodel.create perf var;
+            findings;
+            loaded_at_s = Yield_obs.Clock.now_s ();
+          }
+  end

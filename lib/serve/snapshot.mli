@@ -1,0 +1,31 @@
+(** An immutable, lint-gated view of the loaded [.tbl] models.
+
+    The server never mutates a snapshot: a (re)load builds a complete new
+    one off to the side — running {!Yield_core.Flow.lint_models} first and
+    refusing on error-severity findings — and only then swaps one atomic
+    reference.  Requests capture the reference at admission, so in-flight
+    work always finishes against the models it was admitted under and a
+    rejected reload leaves the old snapshot serving untouched. *)
+
+type t = {
+  generation : int;  (** 1 at startup, +1 per successful reload *)
+  dir : string;
+  control : string;
+  perf : Yield_behavioural.Perf_model.t;
+  var : Yield_behavioural.Var_model.t;
+  macromodel : Yield_behavioural.Macromodel.t;
+  findings : Yield_analyse.Diagnostic.t list;
+      (** the lint findings this snapshot was admitted with (warnings /
+          infos — errors would have refused the load); surfaced verbatim
+          on the [health] endpoint *)
+  loaded_at_s : float;  (** {!Yield_obs.Clock.now_s} at load *)
+}
+
+val load :
+  generation:int -> dir:string -> control:string ->
+  (t, string * Yield_analyse.Diagnostic.t list) result
+(** Lint the candidate tables ({!Yield_core.Flow.lint_models}), then load
+    them ({!Yield_core.Flow.load_models}).  [Error] carries both a message
+    and the findings (the lint findings on rejection; whatever the lint
+    produced before a load-time failure otherwise) so [health] can report
+    why the last reload was refused. *)

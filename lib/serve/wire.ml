@@ -1,0 +1,128 @@
+module Json = Yield_obs.Json
+
+type query =
+  | Ping
+  | Lookup of { gain_db : float; pm_deg : float }
+  | Design of { min_gain_db : float; min_pm_deg : float }
+
+type admin = Health | Ready | Reload | Shutdown
+
+type request = Query of query | Admin of admin
+
+type error_code =
+  | Bad_json
+  | Bad_request
+  | Unknown_op
+  | Oversized
+  | Overloaded
+  | Timeout
+  | Out_of_range
+  | Reload_rejected
+  | Draining
+  | Internal
+
+let code_to_string = function
+  | Bad_json -> "bad_json"
+  | Bad_request -> "bad_request"
+  | Unknown_op -> "unknown_op"
+  | Oversized -> "oversized"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Out_of_range -> "out_of_range"
+  | Reload_rejected -> "reload_rejected"
+  | Draining -> "draining"
+  | Internal -> "internal"
+
+type err = { code : error_code; message : string }
+
+let number name obj =
+  match Json.member name obj with
+  | Some j -> begin
+      match Json.number_value j with
+      | Some v when Float.is_finite v -> Ok v
+      | Some _ | None ->
+          Error { code = Bad_request; message = name ^ " must be a finite number" }
+    end
+  | None -> Error { code = Bad_request; message = "missing field " ^ name }
+
+let ( let* ) = Result.bind
+
+let parse line =
+  match Json.parse line with
+  | exception Json.Parse_error msg ->
+      Error { code = Bad_json; message = msg }
+  | Json.Obj _ as obj -> begin
+      let id = Json.member "id" obj in
+      let tag r = Result.map (fun req -> (req, id)) r in
+      match Json.member "op" obj with
+      | Some (Json.String op) -> begin
+          match op with
+          | "ping" -> tag (Ok (Query Ping))
+          | "lookup" ->
+              tag
+                (let* gain_db = number "gain" obj in
+                 let* pm_deg = number "pm" obj in
+                 Ok (Query (Lookup { gain_db; pm_deg })))
+          | "design" ->
+              tag
+                (let* min_gain_db = number "min_gain" obj in
+                 let* min_pm_deg = number "min_pm" obj in
+                 Ok (Query (Design { min_gain_db; min_pm_deg })))
+          | "health" -> tag (Ok (Admin Health))
+          | "ready" -> tag (Ok (Admin Ready))
+          | "reload" -> tag (Ok (Admin Reload))
+          | "shutdown" -> tag (Ok (Admin Shutdown))
+          | other ->
+              Error { code = Unknown_op; message = "unknown op " ^ other }
+        end
+      | Some _ ->
+          Error { code = Bad_request; message = "op must be a string" }
+      | None -> Error { code = Bad_request; message = "missing field op" }
+    end
+  | _ -> Error { code = Bad_request; message = "request must be a JSON object" }
+
+let request_to_json = function
+  | Query Ping -> Json.Obj [ ("op", Json.String "ping") ]
+  | Query (Lookup { gain_db; pm_deg }) ->
+      Json.Obj
+        [
+          ("op", Json.String "lookup");
+          ("gain", Json.Float gain_db);
+          ("pm", Json.Float pm_deg);
+        ]
+  | Query (Design { min_gain_db; min_pm_deg }) ->
+      Json.Obj
+        [
+          ("op", Json.String "design");
+          ("min_gain", Json.Float min_gain_db);
+          ("min_pm", Json.Float min_pm_deg);
+        ]
+  | Admin Health -> Json.Obj [ ("op", Json.String "health") ]
+  | Admin Ready -> Json.Obj [ ("op", Json.String "ready") ]
+  | Admin Reload -> Json.Obj [ ("op", Json.String "reload") ]
+  | Admin Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+let with_id id fields =
+  match id with None -> fields | Some i -> fields @ [ ("id", i) ]
+
+let ok_frame ?id ~op fields =
+  Json.to_string
+    (Json.Obj
+       (with_id id ((("ok", Json.Bool true) :: ("op", Json.String op) :: fields))))
+  ^ "\n"
+
+let error_frame ?id ?(extra = []) code message =
+  Json.to_string
+    (Json.Obj
+       (with_id id
+          ([
+             ("ok", Json.Bool false);
+             ( "error",
+               Json.Obj
+                 [
+                   ("code", Json.String (code_to_string code));
+                   ("message", Json.String message);
+                 ] );
+           ]
+          @ extra)))
+  ^ "\n"

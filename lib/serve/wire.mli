@@ -1,0 +1,66 @@
+(** The table-server's wire protocol: line-delimited JSON, one request per
+    line, one response frame per request, on the same connection.
+
+    Ordering: queued query responses come back in admission order per
+    connection; admin ops and parse-level error frames are answered
+    immediately by the control loop and may overtake queued query
+    responses.  Pipelining clients correlate by the optional ["id"]
+    member (any JSON value), echoed verbatim on the matching response;
+    one-request-at-a-time clients need no ids.
+
+    Responses are single lines too: [{"ok":true,"op":...,...}] on success,
+    [{"ok":false,"error":{"code":...,"message":...},...}] on failure.  The
+    code set below is the protocol's typed error surface — every hostile
+    or unlucky input maps to one of these frames, never to a dead
+    process. *)
+
+type query =
+  | Ping  (** protocol no-op: liveness and raw round-trip cost *)
+  | Lookup of { gain_db : float; pm_deg : float }
+      (** performance-model lookup: the paper's µs table query *)
+  | Design of { min_gain_db : float; min_pm_deg : float }
+      (** yield-targeted design: variation-inflated spec → sizing *)
+
+type admin = Health | Ready | Reload | Shutdown
+
+type request =
+  | Query of query  (** queued, deadline-checked, pool-dispatched *)
+  | Admin of admin  (** handled inline by the control loop, never queued *)
+
+type error_code =
+  | Bad_json  (** the line is not valid JSON *)
+  | Bad_request  (** valid JSON, wrong shape (missing/ill-typed fields) *)
+  | Unknown_op
+  | Oversized  (** line longer than the server's [max_line] *)
+  | Overloaded  (** bounded queue full — load was shed *)
+  | Timeout  (** deadline expired before (or while) handling *)
+  | Out_of_range  (** query outside the model tables ("3E": no extrapolation) *)
+  | Reload_rejected  (** candidate tables failed lint; old snapshot kept *)
+  | Draining  (** server is shutting down; no new queries *)
+  | Internal  (** handler failure (incl. injected faults) after retries *)
+
+val code_to_string : error_code -> string
+(** Stable snake_case names ([bad_json], [overloaded], ...). *)
+
+type err = { code : error_code; message : string }
+
+val parse : string -> (request * Yield_obs.Json.t option, err) result
+(** Parse one request line (without the newline).  The second component is
+    the echoed ["id"], when present — it is returned alongside errors'
+    frames too, via {!error_frame}'s [?id]. *)
+
+val request_to_json : request -> Yield_obs.Json.t
+(** Render a request (the client side of {!parse}). *)
+
+val ok_frame :
+  ?id:Yield_obs.Json.t -> op:string -> (string * Yield_obs.Json.t) list ->
+  string
+(** One newline-terminated success line: [{"ok":true,"op":OP,FIELDS...}]
+    plus the echoed [id]. *)
+
+val error_frame :
+  ?id:Yield_obs.Json.t ->
+  ?extra:(string * Yield_obs.Json.t) list ->
+  error_code -> string -> string
+(** One newline-terminated failure line; [extra] fields (e.g. lint
+    findings on a rejected reload) land at the top level of the frame. *)

@@ -190,8 +190,12 @@ let classify_error = function
 
 let retry_policy = Retry.policy "dcop.solve"
 
-let solve_with_retry ?options circuit =
-  Retry.with_retries retry_policy ~classify:classify_error (fun ~attempt ->
+let solve_with_retry ?options ?budget_s circuit =
+  let deadline_s =
+    Option.map (fun b -> Yield_obs.Clock.now_s () +. b) budget_s
+  in
+  Retry.with_retries ?deadline_s retry_policy ~classify:classify_error
+    (fun ~attempt ->
       let x0_jitter =
         if attempt <= 1 then None
         else begin

@@ -42,11 +42,19 @@ val solve : ?options:options -> ?x0_jitter:(int -> float) -> Circuit.t -> (t, er
     [No_convergence], while [dcop.newton] and [dcop.gmin] fail one homotopy
     stage each, forcing the gmin-stepping / source-stepping fallbacks. *)
 
-val solve_with_retry : ?options:options -> Circuit.t -> (t, error) result
+val solve_with_retry :
+  ?options:options -> ?budget_s:float -> Circuit.t -> (t, error) result
 (** {!solve} under the [dcop.solve] retry policy (3 attempts): transient
     non-convergence is retried with a deterministic gaussian jitter
     (sigma 50 mV) on the initial guess; singular systems fail immediately.
-    Accounting lands in the [retry.dcop.solve.*] metrics. *)
+    Accounting lands in the [retry.dcop.solve.*] metrics.
+
+    [budget_s] is an overall wall-clock budget for the whole call
+    (converted to the absolute deadline {!Yield_resilience.Retry} takes):
+    a retry that would overrun it is not launched — the failure counts as
+    exhausted, plus [retry.dcop.solve.deadline_stopped].  The table-server
+    request path uses the same mechanism against its per-request
+    deadline. *)
 
 val voltage : t -> Device.node -> float
 

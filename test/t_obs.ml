@@ -89,6 +89,7 @@ let test_histogram_quantiles () =
   check_float "max" 100. s.Histogram.max;
   check_float "p50 (exact on interpolated order stats)" 50.5 s.Histogram.p50;
   check_float "p90" 90.1 s.Histogram.p90;
+  check_float "p95" 95.05 s.Histogram.p95;
   check_float "p99" 99.01 s.Histogram.p99;
   check_float "quantile 0" 1. (Histogram.quantile h 0.);
   check_float "quantile 1" 100. (Histogram.quantile h 1.)
@@ -122,6 +123,7 @@ let test_histogram_empty () =
       ("min", s.Histogram.min);
       ("max", s.Histogram.max);
       ("p50", s.Histogram.p50);
+      ("p95", s.Histogram.p95);
       ("p99", s.Histogram.p99);
     ];
   (* and the JSON sinks therefore emit null for them *)
@@ -257,7 +259,7 @@ let test_jsonl_roundtrip () =
         (fun field ->
           Alcotest.(check bool) (field ^ " present") true
             (Option.is_some (Json.member field j)))
-        [ "count"; "sum"; "mean"; "min"; "max"; "p50"; "p90"; "p99" ]
+        [ "count"; "sum"; "mean"; "min"; "max"; "p50"; "p90"; "p95"; "p99" ]
   | None -> Alcotest.fail "histogram line missing");
   match of_type "span" "t.jsonl.span" with
   | Some _ -> ()

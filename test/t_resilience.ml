@@ -189,6 +189,41 @@ let test_retry_permanent () =
   Alcotest.(check int) "permanent" 1 (mval "retry.test.permanent.permanent");
   Alcotest.(check int) "retries" 0 (mval "retry.test.permanent.retries")
 
+let test_retry_deadline_stops () =
+  Metrics.reset ();
+  let pol = Retry.policy "test.deadline" in
+  (* a deadline already at "now": the first attempt still runs (callers
+     enforce admission deadlines themselves) but no retry is launched *)
+  let calls = ref 0 in
+  let result =
+    Retry.with_retries ~deadline_s:(Yield_obs.Clock.now_s ()) pol
+      ~classify:(fun _ -> Retry.Transient)
+      (fun ~attempt:_ ->
+        incr calls;
+        Error "slow")
+  in
+  Alcotest.(check (result int string)) "fails" (Error "slow") result;
+  Alcotest.(check int) "single attempt" 1 !calls;
+  Alcotest.(check int) "no retries" 0 (mval "retry.test.deadline.retries");
+  Alcotest.(check int) "exhausted (identity holds)" 1
+    (mval "retry.test.deadline.exhausted");
+  Alcotest.(check int) "deadline_stopped" 1
+    (mval "retry.test.deadline.deadline_stopped")
+
+let test_retry_deadline_far () =
+  Metrics.reset ();
+  let pol = Retry.policy "test.deadline_far" in
+  (* a distant deadline must not change the retry behaviour at all *)
+  let result =
+    Retry.with_retries ~deadline_s:(Yield_obs.Clock.now_s () +. 60.) pol
+      ~classify:(fun _ -> Retry.Transient)
+      (fun ~attempt -> if attempt < 2 then Error "flaky" else Ok attempt)
+  in
+  Alcotest.(check (result int string)) "recovered" (Ok 2) result;
+  Alcotest.(check int) "retries" 1 (mval "retry.test.deadline_far.retries");
+  Alcotest.(check int) "deadline_stopped" 0
+    (mval "retry.test.deadline_far.deadline_stopped")
+
 (* ---------- atomic writes ---------- *)
 
 let test_atomic_write () =
@@ -732,6 +767,10 @@ let suites =
         Alcotest.test_case "recovers" `Quick test_retry_recovers;
         Alcotest.test_case "exhausts" `Quick test_retry_exhausts;
         Alcotest.test_case "permanent" `Quick test_retry_permanent;
+        Alcotest.test_case "deadline stops retries" `Quick
+          test_retry_deadline_stops;
+        Alcotest.test_case "distant deadline is inert" `Quick
+          test_retry_deadline_far;
       ] );
     ( "resilience.atomic",
       [

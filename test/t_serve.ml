@@ -1,0 +1,563 @@
+(* Tests for the yield_serve table server: wire protocol parsing, the
+   bounded admission queue, and end-to-end behaviour of a live server —
+   queries, deadlines, load shedding, lint-gated hot reload under
+   concurrent load, hostile wire input, injected chaos and the loadgen
+   bench.  End-to-end tests run the server in its own domain over a Unix
+   socket in a temp directory, with [~signals:false] (everything is driven
+   over the wire) and drain it with the [shutdown] op. *)
+
+module Addr = Yield_serve.Addr
+module Wire = Yield_serve.Wire
+module Bqueue = Yield_serve.Bqueue
+module Snapshot = Yield_serve.Snapshot
+module Server = Yield_serve.Server
+module Client = Yield_serve.Client
+module Loadgen = Yield_serve.Loadgen
+module Json = Yield_obs.Json
+module Metrics = Yield_obs.Metrics
+module Fault = Yield_resilience.Fault
+module Perf_model = Yield_behavioural.Perf_model
+module Var_model = Yield_behavioural.Var_model
+module Tbl_io = Yield_table.Tbl_io
+
+let mval name = Metrics.value (Metrics.counter name)
+
+(* ---------- fixtures: a small synthetic model family ---------- *)
+
+(* eight Pareto points in one parametric family (smooth small steps, so
+   the lookup's family guard never snaps), gain 45..59, pm 80..62.5 *)
+let perf_points ?(gain0 = 45.) () =
+  let base =
+    [| 18e-6; 2.3e-6; 16e-6; 2.0e-6; 23e-6; 1.5e-6; 30e-6; 3.5e-6 |]
+  in
+  Array.init 8 (fun i ->
+      let t = float_of_int i in
+      {
+        Perf_model.gain_db = gain0 +. (2. *. t);
+        pm_deg = 80. -. (2.5 *. t);
+        params = Array.map (fun v -> v *. (1. +. (0.02 *. t))) base;
+        rout = 1.5e6 *. (1. +. (0.01 *. t));
+        unity_gain_hz = 1e7 *. (1. +. (0.02 *. t));
+      })
+
+let var_points ?(gain0 = 45.) () =
+  Array.init 8 (fun i ->
+      let t = float_of_int i in
+      {
+        Var_model.gain_db = gain0 +. (2. *. t);
+        pm_deg = 80. -. (2.5 *. t);
+        dgain_pct = 2.0 +. (0.1 *. t);
+        dpm_pct = 3.0;
+        mc_samples = 200;
+      })
+
+let write_tables ?gain0 dir =
+  let perf = Perf_model.create (perf_points ?gain0 ()) in
+  let var = Var_model.create (var_points ?gain0 ()) in
+  Tbl_io.write
+    ~path:(Filename.concat dir "perf_model.tbl")
+    (Perf_model.to_table perf);
+  Tbl_io.write
+    ~path:(Filename.concat dir "variation_model.tbl")
+    (Var_model.to_table var)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "yieldlab_serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+(* start a server domain on a fresh socket in [dir]; returns the address
+   and a join handle giving the exit code *)
+let start_server ?(configure = fun c -> c) dir =
+  let addr = Addr.Unix_sock (Filename.concat dir "s.sock") in
+  let cfg = configure (Server.default ~addr ~tables_dir:dir) in
+  let ready = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () ->
+        Server.run ~on_ready:(fun () -> Atomic.set ready true) ~signals:false
+          cfg)
+  in
+  let rec wait n =
+    if not (Atomic.get ready) then begin
+      if n > 1000 then Alcotest.fail "server did not become ready";
+      Unix.sleepf 0.005;
+      wait (n + 1)
+    end
+  in
+  wait 0;
+  (addr, domain)
+
+let shutdown_server addr domain =
+  let c = Client.connect addr in
+  let frame = Client.request c (Json.Obj [ ("op", Json.String "shutdown") ]) in
+  Client.close c;
+  (match Json.member "ok" frame with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.failf "shutdown not acknowledged: %s" (Json.to_string frame));
+  Alcotest.(check int) "drained exit code" 0 (Domain.join domain)
+
+let with_server ?configure dir f =
+  write_tables dir;
+  let addr, domain = start_server ?configure dir in
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !finished then ignore (Domain.join domain))
+    (fun () ->
+      let r = f addr in
+      shutdown_server addr domain;
+      finished := true;
+      r)
+
+let is_ok frame =
+  match Json.member "ok" frame with Some (Json.Bool true) -> true | _ -> false
+
+let error_code frame =
+  match Json.member "error" frame with
+  | Some err -> (
+      match Json.member "code" err with
+      | Some (Json.String c) -> c
+      | _ -> "?")
+  | None -> "?"
+
+let op_obj op fields = Json.Obj (("op", Json.String op) :: fields)
+
+(* ---------- wire protocol units ---------- *)
+
+let test_wire_parse_ok () =
+  (match Wire.parse {|{"op":"ping"}|} with
+  | Ok (Wire.Query Wire.Ping, None) -> ()
+  | _ -> Alcotest.fail "ping did not parse");
+  (match Wire.parse {|{"op":"lookup","gain":50.5,"pm":70,"id":7}|} with
+  | Ok (Wire.Query (Wire.Lookup { gain_db; pm_deg }), Some (Json.Int 7)) ->
+      Alcotest.(check (float 1e-9)) "gain" 50.5 gain_db;
+      Alcotest.(check (float 1e-9)) "pm" 70. pm_deg
+  | _ -> Alcotest.fail "lookup did not parse");
+  (match Wire.parse {|{"op":"design","min_gain":48,"min_pm":60}|} with
+  | Ok (Wire.Query (Wire.Design _), None) -> ()
+  | _ -> Alcotest.fail "design did not parse");
+  List.iter
+    (fun (line, want) ->
+      match Wire.parse line with
+      | Ok (Wire.Admin a, _) when a = want -> ()
+      | _ -> Alcotest.failf "admin %s did not parse" line)
+    [
+      ({|{"op":"health"}|}, Wire.Health);
+      ({|{"op":"ready"}|}, Wire.Ready);
+      ({|{"op":"reload"}|}, Wire.Reload);
+      ({|{"op":"shutdown"}|}, Wire.Shutdown);
+    ]
+
+let check_parse_error what line want =
+  match Wire.parse line with
+  | Error { Wire.code; _ } when code = want -> ()
+  | Error { Wire.code; _ } ->
+      Alcotest.failf "%s: got %s, want %s" what
+        (Wire.code_to_string code) (Wire.code_to_string want)
+  | Ok _ -> Alcotest.failf "%s: parsed successfully" what
+
+let test_wire_parse_errors () =
+  check_parse_error "garbage" "not json at all" Wire.Bad_json;
+  check_parse_error "truncated" {|{"op":|} Wire.Bad_json;
+  check_parse_error "non-object" {|[1,2,3]|} Wire.Bad_request;
+  check_parse_error "no op" {|{"gain":1}|} Wire.Bad_request;
+  check_parse_error "unknown op" {|{"op":"frobnicate"}|} Wire.Unknown_op;
+  check_parse_error "missing field" {|{"op":"lookup","gain":50}|}
+    Wire.Bad_request;
+  check_parse_error "ill-typed field" {|{"op":"lookup","gain":"x","pm":1}|}
+    Wire.Bad_request;
+  (* 1e999 overflows to infinity: non-finite arguments are refused *)
+  check_parse_error "non-finite field"
+    {|{"op":"lookup","gain":1e999,"pm":60}|} Wire.Bad_request
+
+let test_wire_frames () =
+  let ok =
+    Wire.ok_frame ~id:(Json.Int 3) ~op:"ping" [ ("extra", Json.Bool true) ]
+  in
+  Alcotest.(check bool) "newline-terminated" true (String.ends_with ~suffix:"\n" ok);
+  let j = Json.parse (String.trim ok) in
+  Alcotest.(check bool) "ok:true" true (is_ok j);
+  (match Json.member "id" j with
+  | Some (Json.Int 3) -> ()
+  | _ -> Alcotest.fail "id not echoed");
+  let err = Wire.error_frame ~id:(Json.String "a") Wire.Overloaded "full" in
+  let je = Json.parse (String.trim err) in
+  Alcotest.(check bool) "ok:false" true (not (is_ok je));
+  Alcotest.(check string) "code" "overloaded" (error_code je);
+  (* request_to_json round-trips through parse *)
+  let req = Wire.Query (Wire.Lookup { gain_db = 50.; pm_deg = 70. }) in
+  match Wire.parse (Json.to_string (Wire.request_to_json req)) with
+  | Ok (r, None) when r = req -> ()
+  | _ -> Alcotest.fail "request_to_json does not round-trip"
+
+(* ---------- bounded queue ---------- *)
+
+let test_bqueue () =
+  (match Bqueue.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted");
+  let q = Bqueue.create ~capacity:2 () in
+  Alcotest.(check int) "capacity" 2 (Bqueue.capacity q);
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2);
+  Alcotest.(check bool) "push 3 refused" false (Bqueue.try_push q 3);
+  Alcotest.(check int) "length" 2 (Bqueue.length q);
+  Alcotest.(check (list int)) "fifo, bounded pop" [ 1 ]
+    (Bqueue.pop_up_to q ~max:1);
+  Alcotest.(check bool) "room again" true (Bqueue.try_push q 4);
+  Alcotest.(check (list int)) "drain" [ 2; 4 ] (Bqueue.pop_up_to q ~max:10);
+  Alcotest.(check (list int)) "empty" [] (Bqueue.pop_up_to q ~max:10)
+
+(* ---------- addresses ---------- *)
+
+let test_addr_parse () =
+  (match Addr.parse "unix:/tmp/x.sock" with
+  | Ok (Addr.Unix_sock "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix: did not parse");
+  (match Addr.parse "tcp:127.0.0.1:4270" with
+  | Ok (Addr.Tcp { host = "127.0.0.1"; port = 4270 }) -> ()
+  | _ -> Alcotest.fail "tcp: did not parse");
+  List.iter
+    (fun bad ->
+      match Addr.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s parsed" bad)
+    [ "foo"; "tcp:localhost"; "tcp:localhost:notaport"; "unix:" ];
+  List.iter
+    (fun s ->
+      match Addr.parse s with
+      | Ok a -> Alcotest.(check string) "round-trip" s (Addr.to_string a)
+      | Error e -> Alcotest.fail e)
+    [ "unix:/tmp/y.sock"; "tcp:localhost:80" ]
+
+(* ---------- snapshot loading ---------- *)
+
+let test_snapshot_refuses_bad_dir () =
+  with_temp_dir (fun dir ->
+      (match Snapshot.load ~generation:1 ~dir ~control:"3E" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "loaded from an empty dir");
+      write_tables dir;
+      match Snapshot.load ~generation:1 ~dir ~control:"3E" with
+      | Ok snap ->
+          Alcotest.(check int) "generation" 1 snap.Snapshot.generation;
+          Alcotest.(check int) "points" 8 (Perf_model.size snap.Snapshot.perf)
+      | Error (msg, _) -> Alcotest.failf "refused good tables: %s" msg)
+
+(* ---------- end-to-end: queries ---------- *)
+
+let test_e2e_queries () =
+  with_temp_dir (fun dir ->
+      with_server dir (fun addr ->
+          let c = Client.connect addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let ping = Client.request c (op_obj "ping" []) in
+          Alcotest.(check bool) "ping ok" true (is_ok ping);
+          let lk =
+            Client.request c
+              (op_obj "lookup"
+                 [ ("gain", Json.Float 50.); ("pm", Json.Float 70.) ])
+          in
+          Alcotest.(check bool) "lookup ok" true (is_ok lk);
+          (match Json.member "design" lk with
+          | Some (Json.Obj fields) ->
+              Alcotest.(check bool) "8 params" true
+                (match List.assoc_opt "params" fields with
+                | Some (Json.List l) -> List.length l = 8
+                | _ -> false)
+          | _ -> Alcotest.fail "lookup carries no design");
+          let miss =
+            Client.request c
+              (op_obj "lookup"
+                 [ ("gain", Json.Float 200.); ("pm", Json.Float 70.) ])
+          in
+          Alcotest.(check string) "domain miss is typed" "out_of_range"
+            (error_code miss);
+          let dsg =
+            Client.request c
+              (op_obj "design"
+                 [ ("min_gain", Json.Float 50.); ("min_pm", Json.Float 65.) ])
+          in
+          Alcotest.(check bool) "design ok" true (is_ok dsg);
+          (match Json.member "predicted_yield" dsg with
+          | Some y -> (
+              match Json.number_value y with
+              | Some v ->
+                  Alcotest.(check bool) "yield in (0,1]" true
+                    (v > 0. && v <= 1.)
+              | None -> Alcotest.fail "predicted_yield not a number")
+          | None -> Alcotest.fail "design carries no predicted_yield");
+          let health = Client.request c (op_obj "health" []) in
+          Alcotest.(check bool) "health ok" true (is_ok health);
+          List.iter
+            (fun field ->
+              Alcotest.(check bool) (field ^ " present") true
+                (Option.is_some (Json.member field health)))
+            [
+              "uptime_s"; "generation"; "draining"; "queue"; "model";
+              "counters"; "lint"; "last_reload_error";
+            ];
+          let ready = Client.request c (op_obj "ready" []) in
+          Alcotest.(check bool) "ready ok" true (is_ok ready)))
+
+(* ---------- end-to-end: deadlines, shedding, hostile input ---------- *)
+
+let test_e2e_deadline () =
+  with_temp_dir (fun dir ->
+      Metrics.reset ();
+      (* a 1 ns deadline: admission-to-handling latency alone exceeds it,
+         so every query answers with a typed timeout frame *)
+      with_server
+        ~configure:(fun c -> { c with Server.deadline_s = 1e-9 })
+        dir
+        (fun addr ->
+          let c = Client.connect addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let frame = Client.request c (op_obj "ping" []) in
+          Alcotest.(check string) "timeout frame" "timeout" (error_code frame);
+          Alcotest.(check bool) "timeout counted" true
+            (mval "serve.timeouts" >= 1)))
+
+let test_e2e_shed () =
+  with_temp_dir (fun dir ->
+      Metrics.reset ();
+      with_server
+        ~configure:(fun c -> { c with Server.queue_capacity = 2 })
+        dir
+        (fun addr ->
+          let c = Client.connect addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          (* one burst write of 50 pipelined pings: the control loop reads
+             them in one pass, so at most 2 fit the queue per tick and the
+             rest shed deterministically with typed overloaded frames *)
+          let n = 50 in
+          let buf = Buffer.create 1024 in
+          for i = 1 to n do
+            Buffer.add_string buf
+              (Json.to_string
+                 (op_obj "ping" [ ("id", Json.Int i) ]));
+            Buffer.add_char buf '\n'
+          done;
+          Client.send_line c (String.trim (Buffer.contents buf));
+          let ok = ref 0 and overloaded = ref 0 in
+          for _ = 1 to n do
+            match Client.recv_line c with
+            | None -> Alcotest.fail "connection closed mid-burst"
+            | Some line -> (
+                let j = Json.parse line in
+                if is_ok j then incr ok
+                else
+                  match error_code j with
+                  | "overloaded" -> incr overloaded
+                  | other -> Alcotest.failf "unexpected error %s" other)
+          done;
+          Alcotest.(check int) "every request answered" n (!ok + !overloaded);
+          Alcotest.(check bool) "most of the burst shed" true
+            (!overloaded >= n - 10);
+          Alcotest.(check int) "shed counter matches" !overloaded
+            (mval "serve.shed")))
+
+let test_e2e_hostile_input () =
+  with_temp_dir (fun dir ->
+      with_server
+        ~configure:(fun c -> { c with Server.max_line = 256 })
+        dir
+        (fun addr ->
+          let c = Client.connect addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let expect what want line =
+            Client.send_line c line;
+            match Client.recv_line c with
+            | None -> Alcotest.failf "%s: connection died" what
+            | Some resp ->
+                Alcotest.(check string) what want (error_code (Json.parse resp))
+          in
+          expect "oversized complete line" "oversized"
+            (String.make 1000 'x');
+          expect "binary garbage" "bad_json" "\x01\x02\xff\xfe";
+          expect "truncated json" "bad_json" {|{"op":"loo|};
+          expect "unknown op" "unknown_op" {|{"op":"drop table"}|};
+          expect "null op" "bad_request" {|{"op":null}|};
+          (* the same connection still serves after all of that *)
+          let frame = Client.request c (op_obj "ping" []) in
+          Alcotest.(check bool) "conn survives hostile input" true
+            (is_ok frame);
+          (* a newline-less flood past max_line gets a frame, then the
+             connection is cut (the frame boundary is lost) *)
+          let flood = Client.connect addr in
+          Client.send_raw flood (String.make 600 'y');
+          (match Client.recv_line flood with
+          | Some resp ->
+              Alcotest.(check string) "flood answered" "oversized"
+                (error_code (Json.parse resp))
+          | None -> Alcotest.fail "flood: no frame before close");
+          Alcotest.(check (option string)) "flood conn closed" None
+            (Client.recv_line flood);
+          Client.close flood))
+
+(* ---------- end-to-end: hot reload under load ---------- *)
+
+let test_e2e_reload_under_load () =
+  with_temp_dir (fun dir ->
+      with_server dir (fun addr ->
+          (* continuous lookups from a second domain while the model is
+             swapped twice: the zero-drop claim is that every frame is a
+             success — never an error, never a torn read *)
+          let stop = Atomic.make false in
+          let load =
+            Domain.spawn (fun () ->
+                let c = Client.connect addr in
+                let ok = ref 0 and bad = ref 0 in
+                while not (Atomic.get stop) do
+                  let frame =
+                    Client.request c
+                      (op_obj "lookup"
+                         [ ("gain", Json.Float 50.); ("pm", Json.Float 70.) ])
+                  in
+                  if is_ok frame then incr ok else incr bad
+                done;
+                Client.close c;
+                (!ok, !bad))
+          in
+          let admin = Client.connect addr in
+          Fun.protect ~finally:(fun () -> Client.close admin) @@ fun () ->
+          Unix.sleepf 0.05;
+          (* good reload: a slightly wider model, still covering the load *)
+          write_tables ~gain0:44.5 dir;
+          let r1 = Client.request admin (op_obj "reload" []) in
+          Alcotest.(check bool) "reload accepted" true (is_ok r1);
+          (match Json.member "generation" r1 with
+          | Some (Json.Int 2) -> ()
+          | _ -> Alcotest.fail "generation did not advance");
+          Unix.sleepf 0.05;
+          (* corrupt candidate: lint must reject it and the server must
+             keep answering from the generation-2 snapshot *)
+          Out_channel.with_open_text
+            (Filename.concat dir "perf_model.tbl") (fun oc ->
+              Out_channel.output_string oc "not a table at all\n");
+          let r2 = Client.request admin (op_obj "reload" []) in
+          Alcotest.(check string) "corrupt reload rejected" "reload_rejected"
+            (error_code r2);
+          let ready = Client.request admin (op_obj "ready" []) in
+          (match Json.member "generation" ready with
+          | Some (Json.Int 2) -> ()
+          | _ -> Alcotest.fail "rejected reload changed the generation");
+          let health = Client.request admin (op_obj "health" []) in
+          (match Json.member "last_reload_error" health with
+          | Some Json.Null | None ->
+              Alcotest.fail "health hides the rejected reload"
+          | Some _ -> ());
+          Unix.sleepf 0.05;
+          Atomic.set stop true;
+          let ok, bad = Domain.join load in
+          Alcotest.(check bool) "load saw traffic" true (ok > 0);
+          Alcotest.(check int) "zero dropped or failed queries" 0 bad;
+          (* leave a loadable model behind for the drain path *)
+          write_tables dir))
+
+(* ---------- end-to-end: injected chaos ---------- *)
+
+let test_e2e_chaos () =
+  with_temp_dir (fun dir ->
+      Fun.protect ~finally:Fault.reset @@ fun () ->
+      Metrics.reset ();
+      with_server
+        ~configure:(fun c -> { c with Server.handler_attempts = 3 })
+        dir
+        (fun addr ->
+          let c = Client.connect addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          (* one injected failure: the deadline-aware retry budget absorbs
+             it and the client still sees a success *)
+          Fault.reset ();
+          (match Fault.arm_spec "serve.handler:at=1" with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e);
+          let frame = Client.request c (op_obj "ping" []) in
+          Alcotest.(check bool) "one injection is absorbed" true (is_ok frame);
+          Alcotest.(check bool) "retry accounted" true
+            (mval "retry.serve.handler.retries" >= 1);
+          (* persistent failure: every attempt injected — the client gets
+             a typed internal frame and the server stays up *)
+          Fault.reset ();
+          Fault.arm "serve.handler" (Fault.Count 1000);
+          let frame = Client.request c (op_obj "ping" []) in
+          Alcotest.(check string) "typed internal frame" "internal"
+            (error_code frame);
+          Alcotest.(check bool) "failure counted" true
+            (mval "serve.failed" >= 1);
+          Fault.reset ();
+          (* injected reload failure: typed frame, snapshot kept *)
+          Fault.arm "serve.reload" (Fault.Count 1);
+          let frame = Client.request c (op_obj "reload" []) in
+          Alcotest.(check string) "reload chaos is typed" "reload_rejected"
+            (error_code frame);
+          Fault.reset ();
+          let frame = Client.request c (op_obj "ping" []) in
+          Alcotest.(check bool) "server survives the chaos" true
+            (is_ok frame)))
+
+(* ---------- end-to-end: loadgen ---------- *)
+
+let test_e2e_loadgen () =
+  with_temp_dir (fun dir ->
+      with_server
+        ~configure:(fun c -> { c with Server.jobs = 2 })
+        dir
+        (fun addr ->
+          match Loadgen.run ~addr ~clients:2 ~duration_s:0.3 () with
+          | Error msg -> Alcotest.fail msg
+          | Ok r ->
+              Alcotest.(check bool) "traffic flowed" true (r.Loadgen.sent > 0);
+              Alcotest.(check int) "all requests succeeded" r.Loadgen.sent
+                r.Loadgen.ok;
+              let n = Array.length r.Loadgen.latency_us in
+              Alcotest.(check int) "every response timed" r.Loadgen.sent n;
+              let j = Loadgen.to_json r in
+              (match Json.member "schema" j with
+              | Some (Json.String "yieldlab-bench-serve/v1") -> ()
+              | _ -> Alcotest.fail "bench schema tag missing");
+              let pct p =
+                match Json.member "latency_us" j with
+                | Some lat -> (
+                    match Json.member p lat with
+                    | Some v -> Option.get (Json.number_value v)
+                    | None -> Alcotest.failf "%s missing" p)
+                | None -> Alcotest.fail "latency_us missing"
+              in
+              let p50 = pct "p50" and p95 = pct "p95" and p99 = pct "p99" in
+              Alcotest.(check bool) "percentiles ordered" true
+                (p50 <= p95 && p95 <= p99 && p50 > 0.)))
+
+let suites =
+  [
+    ( "serve.wire",
+      [
+        Alcotest.test_case "parse ok" `Quick test_wire_parse_ok;
+        Alcotest.test_case "parse errors" `Quick test_wire_parse_errors;
+        Alcotest.test_case "frames" `Quick test_wire_frames;
+      ] );
+    ( "serve.bqueue",
+      [ Alcotest.test_case "bounded fifo" `Quick test_bqueue ] );
+    ( "serve.addr",
+      [ Alcotest.test_case "parse/print" `Quick test_addr_parse ] );
+    ( "serve.snapshot",
+      [
+        Alcotest.test_case "lint gate" `Quick test_snapshot_refuses_bad_dir;
+      ] );
+    ( "serve.e2e",
+      [
+        Alcotest.test_case "queries" `Quick test_e2e_queries;
+        Alcotest.test_case "deadline" `Quick test_e2e_deadline;
+        Alcotest.test_case "load shedding" `Quick test_e2e_shed;
+        Alcotest.test_case "hostile input" `Quick test_e2e_hostile_input;
+        Alcotest.test_case "hot reload under load" `Quick
+          test_e2e_reload_under_load;
+        Alcotest.test_case "injected chaos" `Quick test_e2e_chaos;
+        Alcotest.test_case "loadgen bench" `Quick test_e2e_loadgen;
+      ] );
+  ]

@@ -20,4 +20,5 @@ let () =
          T_exec.suites;
          T_analyse.suites;
          T_analyse2.suites;
+         T_serve.suites;
        ])
