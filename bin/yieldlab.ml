@@ -31,6 +31,7 @@ module Ga = Yield_ga.Ga
 module Rng = Yield_stats.Rng
 module Dcop = Yield_spice.Dcop
 module Netlist = Yield_spice.Netlist
+module Netlist_ast = Yield_spice.Netlist_ast
 
 module Obs = Yield_obs.Obs
 module Json = Yield_obs.Json
@@ -843,7 +844,7 @@ let run_analysis circuit op analysis =
             values
     end
 
-let netlist_run path =
+let netlist_run ~print path =
   match
     let ic = open_in path in
     Fun.protect
@@ -853,10 +854,23 @@ let netlist_run path =
   | exception Sys_error e ->
       prerr_endline e;
       1
+  | text when print -> begin
+      (* canonical pretty-print only — the CI round-trip job diffs two
+         passes of this to hold the printer to byte-idempotence *)
+      match Netlist.print_canonical text with
+      | exception Netlist.Parse_error { span; message } ->
+          Printf.eprintf "%s:%d:%d: %s\n" path span.Netlist_ast.start_line
+            span.Netlist_ast.start_col message;
+          1
+      | canonical ->
+          print_string canonical;
+          0
+    end
   | text -> begin
       match Netlist.parse_with_analyses text with
-      | exception Netlist.Parse_error { line; message } ->
-          Printf.eprintf "%s:%d: %s\n" path line message;
+      | exception Netlist.Parse_error { span; message } ->
+          Printf.eprintf "%s:%d:%d: %s\n" path span.Netlist_ast.start_line
+            span.Netlist_ast.start_col message;
           1
       | circuit, analyses -> begin
           match Dcop.solve circuit with
@@ -876,9 +890,18 @@ let netlist_cmd =
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"netlist file")
   in
+  let print =
+    Arg.(
+      value & flag
+      & info [ "print" ]
+          ~doc:
+            "print the canonical form of the netlist instead of solving it \
+             (parse to the AST, pretty-print, exit; the output is a \
+             byte-fixpoint of this very command)")
+  in
   obs_cmd
     (Cmd.info "netlist" ~doc:"parse a netlist and print its DC operating point")
-    Term.(const (fun p () -> netlist_run p) $ path)
+    Term.(const (fun p print () -> netlist_run ~print p) $ path $ print)
 
 (* ---------- lint ---------- *)
 

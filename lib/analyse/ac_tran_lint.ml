@@ -1,6 +1,5 @@
 module Circuit = Yield_spice.Circuit
 module Device = Yield_spice.Device
-module Netlist = Yield_spice.Netlist
 
 let diag = Diagnostic.make
 
@@ -156,9 +155,10 @@ let time_constants circuit =
 
 (* ---------- checks ---------- *)
 
-let check_ac ?file circuit ~known ~per_decade ~f_lo ~f_hi ~out =
+let check_ac ?file ?span circuit ~known ~per_decade ~f_lo ~f_hi ~out =
   let findings = ref [] in
   let push d = findings := d :: !findings in
+  let diag ?file = diag ?file ?span in
   if per_decade <= 0 || f_lo <= 0. || f_hi <= f_lo then
     push
       (diag ?file ~code:"A004" ~severity:Diagnostic.Error ~subject:out
@@ -234,9 +234,10 @@ let has_time_varying_stimulus circuit =
       | _ -> false)
     (Circuit.devices circuit)
 
-let check_tran ?file circuit ~known ~dt ~t_stop ~out =
+let check_tran ?file ?span circuit ~known ~dt ~t_stop ~out =
   let findings = ref [] in
   let push d = findings := d :: !findings in
+  let diag ?file = diag ?file ?span in
   if dt <= 0. || t_stop <= 0. || dt >= t_stop then
     push
       (diag ?file ~code:"R001" ~severity:Diagnostic.Error ~subject:out
@@ -272,17 +273,17 @@ let check_tran ?file circuit ~known ~dt ~t_stop ~out =
             ".tran output node %s is not referenced by any device" out));
   List.rev !findings
 
+let check_one ?file ?span circuit ~known analysis =
+  match (analysis : Yield_spice.Netlist_elab.analysis) with
+  | Ac_analysis { per_decade; f_lo; f_hi; out } ->
+      check_ac ?file ?span circuit ~known ~per_decade ~f_lo ~f_hi ~out
+  | Tran_analysis { dt; t_stop; out } ->
+      check_tran ?file ?span circuit ~known ~dt ~t_stop ~out
+  | Op | Dc_analysis _ -> []
+
 let check ?file circuit analyses =
   let known = known_node_names circuit in
-  List.concat_map
-    (fun analysis ->
-      match analysis with
-      | Netlist.Ac_analysis { per_decade; f_lo; f_hi; out } ->
-          check_ac ?file circuit ~known ~per_decade ~f_lo ~f_hi ~out
-      | Netlist.Tran_analysis { dt; t_stop; out } ->
-          check_tran ?file circuit ~known ~dt ~t_stop ~out
-      | Netlist.Op | Netlist.Dc_analysis _ -> [])
-    analyses
+  List.concat_map (check_one ?file circuit ~known) analyses
 
 let check_file path =
   match
@@ -293,10 +294,20 @@ let check_file path =
   with
   | exception Sys_error _ -> []
   | text -> begin
-      match Netlist.parse_with_analyses text with
-      | exception Netlist.Parse_error _ ->
+      match
+        let ast = Yield_spice.Netlist_parser.parse text in
+        Yield_spice.Netlist_elab.elaborate ast
+      with
+      | exception Yield_spice.Netlist_ast.Parse_error _ ->
           (* unreadable / unparseable input is Netlist_lint's N000; this
              pass only speaks about analysis cards of a valid netlist *)
           []
-      | circuit, analyses -> check ~file:path circuit analyses
+      | circuit, analyses ->
+          let known = known_node_names circuit in
+          List.concat_map
+            (fun (analysis, card_span) ->
+              check_one ~file:path
+                ~span:(Diagnostic.span_of_ast card_span)
+                circuit ~known analysis)
+            analyses
     end

@@ -32,6 +32,8 @@ val check :
     cards produce nothing. *)
 
 val check_file : string -> Diagnostic.t list
-(** Read, parse and {!check} one netlist file.  Unreadable or unparseable
-    input yields [[]] — {!Netlist_lint.check_file} owns the [N000]
-    diagnostic for that; run both, as [yieldlab lint netlist] does. *)
+(** Parse to the AST, elaborate and {!check} one netlist file; every
+    finding carries the source span of the analysis card it is about.
+    Unreadable or unparseable input yields [[]] —
+    {!Netlist_lint.check_file} owns the [N000] diagnostic for that; run
+    both, as [yieldlab lint netlist] does. *)

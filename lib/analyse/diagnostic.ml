@@ -2,6 +2,13 @@ module Json = Yield_obs.Json
 
 type severity = Info | Warning | Error
 
+type span = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
 type t = {
   code : string;
   severity : severity;
@@ -9,10 +16,25 @@ type t = {
   message : string;
   file : string option;
   line : int option;
+  span : span option;
 }
 
-let make ?file ?line ~code ~severity ~subject message =
-  { code; severity; subject; message; file; line }
+let span_of_ast (s : Yield_spice.Netlist_ast.span) =
+  {
+    start_line = s.Yield_spice.Netlist_ast.start_line;
+    start_col = s.start_col;
+    end_line = s.end_line;
+    end_col = s.end_col;
+  }
+
+let make ?file ?line ?span ~code ~severity ~subject message =
+  let line =
+    match (line, span) with
+    | (Some _ as l), _ -> l
+    | None, Some s -> Some s.start_line
+    | None, None -> None
+  in
+  { code; severity; subject; message; file; line; span }
 
 let severity_to_string = function
   | Info -> "info"
@@ -53,11 +75,13 @@ let count severity diags =
 
 let to_text d =
   let where =
-    match (d.file, d.line) with
-    | Some f, Some l -> Printf.sprintf "%s:%d: " f l
-    | Some f, None -> f ^ ": "
-    | None, Some l -> Printf.sprintf "line %d: " l
-    | None, None -> ""
+    match (d.file, d.line, d.span) with
+    | Some f, _, Some s -> Printf.sprintf "%s:%d:%d: " f s.start_line s.start_col
+    | Some f, Some l, None -> Printf.sprintf "%s:%d: " f l
+    | Some f, None, None -> f ^ ": "
+    | None, _, Some s -> Printf.sprintf "line %d:%d: " s.start_line s.start_col
+    | None, Some l, None -> Printf.sprintf "line %d: " l
+    | None, None, None -> ""
   in
   Printf.sprintf "%s%s %s [%s]: %s" where
     (severity_to_string d.severity)
@@ -71,6 +95,15 @@ let list_to_text diags =
   in
   String.concat "\n" (List.map to_text sorted @ [ summary ])
 
+let span_to_json s =
+  Json.Obj
+    [
+      ("start_line", Json.Int s.start_line);
+      ("start_col", Json.Int s.start_col);
+      ("end_line", Json.Int s.end_line);
+      ("end_col", Json.Int s.end_col);
+    ]
+
 let to_json d =
   Json.Obj
     [
@@ -81,12 +114,13 @@ let to_json d =
       ( "file",
         match d.file with Some f -> Json.String f | None -> Json.Null );
       ("line", match d.line with Some l -> Json.Int l | None -> Json.Null);
+      ("span", match d.span with Some s -> span_to_json s | None -> Json.Null);
     ]
 
 let list_to_json diags =
   Json.Obj
     [
-      ("version", Json.Int 1);
+      ("version", Json.Int 2);
       ("findings", Json.List (List.map to_json (sort diags)));
       ("errors", Json.Int (count Error diags));
       ("warnings", Json.Int (count Warning diags));

@@ -9,18 +9,33 @@
 
 type severity = Info | Warning | Error
 
+type span = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+(** A source region: 1-based line and column, [end_col] one past the last
+    character (the SARIF convention). *)
+
 type t = {
   code : string;  (** stable, e.g. ["N002"] *)
   severity : severity;
   subject : string;  (** node/device/column/field the finding is about *)
   message : string;
   file : string option;  (** source file, when linting one *)
-  line : int option;  (** 1-based, when known *)
+  line : int option;  (** 1-based, when known; [span]'s start line if set *)
+  span : span option;  (** precise source region, when the pass knows one *)
 }
 
+val span_of_ast : Yield_spice.Netlist_ast.span -> span
+(** Convert a frontend span (same shape, different module). *)
+
 val make :
-  ?file:string -> ?line:int -> code:string -> severity:severity ->
-  subject:string -> string -> t
+  ?file:string -> ?line:int -> ?span:span -> code:string ->
+  severity:severity -> subject:string -> string -> t
+(** When [span] is given and [line] is not, [line] defaults to the span's
+    start line, so line-oriented consumers keep working. *)
 
 val severity_to_string : severity -> string
 (** ["error"], ["warning"], ["info"]. *)
@@ -40,7 +55,8 @@ val exit_code : t list -> int
 val count : severity -> t list -> int
 
 val to_text : t -> string
-(** ["file:12: error N002 [g]: node g has no DC path to ground"]. *)
+(** ["file:12:5: error N002 [g]: node g has no DC path to ground"] with a
+    span, ["file:12: ..."] with only a line. *)
 
 val list_to_text : t list -> string
 (** Sorted findings one per line, followed by a summary line. *)
@@ -48,7 +64,8 @@ val list_to_text : t list -> string
 val to_json : t -> Yield_obs.Json.t
 
 val list_to_json : t list -> Yield_obs.Json.t
-(** [{"version": 1, "findings": [...], "errors": n, "warnings": n,
+(** [{"version": 2, "findings": [...], "errors": n, "warnings": n,
     "infos": n, "worst": "error"|"warning"|"info"|null}] with findings
-    sorted.  The schema is documented in [docs/lint-json-schema.json];
+    sorted; each finding carries a ["span"] object (or [null]) next to
+    ["line"].  The schema is documented in [docs/lint-json-schema.json];
     [version] is bumped on any incompatible change. *)

@@ -1,11 +1,20 @@
 (** Netlist lint: predict {!Yield_spice.Dcop} failures statically.
 
-    Runs the connectivity analysis of {!Yield_spice.Topology} plus per-device
-    value checks over a built {!Yield_spice.Circuit}, in milliseconds —
-    before the flow burns thousands of transistor-level evaluations on a
-    netlist that can only produce singular MNA systems.
+    Two layers, run together by {!check_file}:
 
-    Codes:
+    - {!check_ast} walks the typed {!Yield_spice.Netlist_ast.t} before
+      elaboration, so hierarchy and parameter problems are reported at the
+      card that wrote them — with a precise source span — instead of after
+      flattening (or not at all, when elaboration refuses the deck).
+    - {!check} runs the connectivity analysis of {!Yield_spice.Topology}
+      plus per-device value checks over the built {!Yield_spice.Circuit},
+      in milliseconds — before the flow burns thousands of transistor-level
+      evaluations on a netlist that can only produce singular MNA systems.
+      With an [origin] provenance table from {!Yield_spice.Netlist_elab},
+      circuit-level findings carry the span of the card (or first node
+      reference) they are about.
+
+    Circuit codes:
     - [N001] (warning) node referenced by exactly one device terminal
     - [N002] (error) node has no DC path to ground — {!Yield_spice.Dcop}
       fails this circuit with [Singular_system]
@@ -18,25 +27,44 @@
     - [N007] (warning) MOSFET W or L below the technology's minimum channel
       length
     - [N008] (warning) symmetric-pair W/L mismatch (OTA/Miller topology
-      invariant) *)
+      invariant)
+
+    AST codes:
+    - [N009] (error) duplicate device name in one scope (top level or one
+      [.subckt] body) — the message points at the first definition
+    - [N010] (error) [X] instance of an undefined [.subckt]
+    - [N011] (warning) [.subckt] defined but never instantiated
+    - [N012] (error) [X] instance whose connection count differs from the
+      [.subckt]'s port count, reported at the instantiation site
+    - [N013] (warning) [.param] assigned but never referenced by any value
+      expression
+    - [N014] (warning) [.param] re-assignment shadowing an earlier one *)
 
 val check :
   ?file:string ->
+  ?origin:Yield_spice.Netlist_elab.origin ->
   ?tech:Yield_process.Tech.t ->
   ?pairs:(string * string) list ->
   Yield_spice.Circuit.t ->
   Diagnostic.t list
-(** [tech] enables the N007 range check; [pairs] names device pairs (e.g.
-    [("M3", "M4")]) whose W and L must match exactly — a pair name matches a
-    device called exactly that or with any [<prefix>.] in front (netlist
-    subcircuit and builder prefixes).  A pair with fewer than two matching
-    MOSFETs is skipped. *)
+(** [origin] (from {!Yield_spice.Netlist_elab.elaborate}) maps flattened
+    device and node names back to source spans; [tech] enables the N007
+    range check; [pairs] names device pairs (e.g. [("M3", "M4")]) whose W
+    and L must match exactly — a pair name matches a device called exactly
+    that or with any [<prefix>.] in front (netlist subcircuit and builder
+    prefixes).  A pair with fewer than two matching MOSFETs is skipped. *)
+
+val check_ast : ?file:string -> Yield_spice.Netlist_ast.t -> Diagnostic.t list
+(** The pre-elaboration checks (N009–N014).  Every finding carries a span. *)
 
 val check_file :
   ?tech:Yield_process.Tech.t ->
   ?pairs:(string * string) list ->
   string ->
   Diagnostic.t list
-(** Read and parse a netlist file, then {!check}.  Unreadable files and
-    parse errors come back as a single [N000] error diagnostic carrying the
-    file/line context instead of raising. *)
+(** Read, parse ({!check_ast}), elaborate and {!check} a netlist file.
+    Unreadable files and parse errors come back as a single [N000] error
+    diagnostic carrying file, line and column instead of raising; when
+    elaboration fails but an AST-level error already explains why (undefined
+    subckt, arity mismatch, duplicate device), the N000 is suppressed in
+    favour of the precise findings. *)

@@ -17,6 +17,12 @@ let rule_descriptions =
     ("N006", "capacitor with negative capacitance");
     ("N007", "MOSFET below the technology's minimum channel length");
     ("N008", "symmetric pair with mismatched geometry");
+    ("N009", "duplicate device name in one scope");
+    ("N010", "instantiation of an undefined .subckt");
+    ("N011", ".subckt defined but never instantiated");
+    ("N012", "X-instance connection count differing from the port count");
+    ("N013", ".param assigned but never referenced");
+    ("N014", ".param assignment shadowing an earlier one");
     ("T001", "table file unreadable or malformed");
     ("T002", "non-finite table cell");
     ("T003", "axis column not strictly increasing");
@@ -76,10 +82,21 @@ let location (d : Diagnostic.t) =
       let physical =
         ("artifactLocation", Json.Obj [ ("uri", Json.String file) ])
         ::
-        (match d.Diagnostic.line with
-        | Some line ->
+        (match (d.Diagnostic.span, d.Diagnostic.line) with
+        | Some s, _ ->
+            [
+              ( "region",
+                Json.Obj
+                  [
+                    ("startLine", Json.Int s.Diagnostic.start_line);
+                    ("startColumn", Json.Int s.Diagnostic.start_col);
+                    ("endLine", Json.Int s.Diagnostic.end_line);
+                    ("endColumn", Json.Int s.Diagnostic.end_col);
+                  ] );
+            ]
+        | None, Some line ->
             [ ("region", Json.Obj [ ("startLine", Json.Int line) ]) ]
-        | None -> [])
+        | None, None -> [])
       in
       [
         ( "locations",

@@ -6,6 +6,9 @@ type t = {
   device_names : (string, unit) Hashtbl.t;
   mutable nodesets : (Device.node * float) list;
   mutable cache : Device.t array option;
+  (* user-visible .model names in registration order; Netlist.to_string
+     prefers these over generated modN names *)
+  mutable model_names_rev : (string * Mosfet.model) list;
 }
 
 let create () =
@@ -21,7 +24,18 @@ let create () =
     device_names = Hashtbl.create 32;
     nodesets = [];
     cache = None;
+    model_names_rev = [];
   }
+
+let name_model c name model =
+  c.model_names_rev <- (name, model) :: c.model_names_rev
+
+let model_names c = List.rev c.model_names_rev
+
+let model_name c model =
+  List.find_map
+    (fun (name, m) -> if m = model then Some name else None)
+    (List.rev c.model_names_rev)
 
 let node c name =
   match Hashtbl.find_opt c.names name with
@@ -90,6 +104,7 @@ let map_devices c f =
     device_names = Hashtbl.copy c.device_names;
     nodesets = c.nodesets;
     cache = None;
+    model_names_rev = c.model_names_rev;
   }
 
 let add_resistor c ~name n1 n2 ohms =

@@ -26,6 +26,17 @@ val nodesets : t -> (Device.node * float) list
 val devices : t -> Device.t array
 (** Devices in insertion order. *)
 
+val name_model : t -> string -> Mosfet.model -> unit
+(** Record a user-visible [.model] name for [model].  The netlist reader
+    registers every [.model] card here so {!Netlist.to_string} can emit the
+    original names instead of generated [modN] ones. *)
+
+val model_names : t -> (string * Mosfet.model) list
+(** Registered names in registration order. *)
+
+val model_name : t -> Mosfet.model -> string option
+(** First registered name whose model structurally equals [model]. *)
+
 val find_device : t -> string -> Device.t
 (** @raise Not_found if absent. *)
 

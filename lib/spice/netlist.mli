@@ -1,13 +1,17 @@
-(** SPICE-like netlist text format.
+(** SPICE-like netlist text format — the frontend facade.
 
-    The proposed algorithm's first step is "netlist and objective function
-    generation"; this module gives circuits a concrete textual form, with a
-    parser for tests and user-supplied topologies.
+    The paper's flow starts at "netlist and objective function generation";
+    this module gives circuits a concrete textual form.  [parse] is a thin
+    wrapper over the real frontend: {!Netlist_lexer} (spanned tokens,
+    [+] continuation lines, [*] and [;] comments, case-insensitivity,
+    engineering suffixes f p n u m k meg g t), {!Netlist_parser} (typed AST,
+    every node carrying a source span), and {!Netlist_elab} (hierarchy
+    flattening, [.param] arithmetic).
 
-    Supported cards (case-insensitive element letters, [*] comments,
-    engineering suffixes f p n u m k meg g t):
+    Supported cards:
 
     {v
+    .param <name>=<value|{expr}> ...     arithmetic over earlier parameters
     .model <name> nmos|pmos vth0=.. kp=.. gamma=.. phi=.. lambda0=.. n=..
                   cox=.. cgso=.. cgdo=.. cj=.. cjsw=.. ext=..
     R<id> n1 n2 <ohms>
@@ -28,14 +32,21 @@
     .end
     v}
 
-    Subcircuits are expanded (flattened) at parse time: internal nodes and
+    Any card may continue on following lines that start with [+].  Value
+    fields accept [{...}] expressions over previously assigned parameters
+    ([+ - * / ( )], engineering suffixes).  Subcircuits are kept
+    hierarchical in the AST and expanded at elaboration: internal nodes and
     device names of instance [X1] of subckt [amp] appear as [X1.<name>].
     Nested subcircuit definitions are not supported; instantiating a subckt
     from inside another is. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { span : Netlist_ast.span; message : string }
+(** Every malformed input — lexical, syntactic or semantic — surfaces as
+    this one typed error with a precise source {!Netlist_ast.span}.  It is
+    the same exception as {!Netlist_ast.Parse_error} (a rebinding), so
+    matching either name catches both. *)
 
-type analysis =
+type analysis = Netlist_elab.analysis =
   | Op  (** [.op] — DC operating point *)
   | Ac_analysis of { per_decade : int; f_lo : float; f_hi : float; out : string }
       (** [.ac dec <pts> <f_lo> <f_hi> <node>] *)
@@ -54,7 +65,7 @@ val parse_value : string -> float
     @raise Failure on malformed input. *)
 
 val parse : string -> Circuit.t
-(** @raise Parse_error with a line number on malformed input.  Analysis
+(** @raise Parse_error with a source span on malformed input.  Analysis
     cards are accepted and ignored; use {!parse_with_analyses} to get
     them. *)
 
@@ -62,6 +73,13 @@ val parse_with_analyses : string -> Circuit.t * analysis list
 (** Like {!parse} but also returns the analysis cards, in order.  Analysis
     cards are only allowed at the top level (not inside [.subckt]). *)
 
+val print_canonical : string -> string
+(** Parse to the AST and print back in the canonical layout — the
+    byte-idempotent normal form ([print_canonical] of its own output is the
+    identity).  @raise Parse_error on malformed input. *)
+
 val to_string : Circuit.t -> string
-(** Render a circuit back to netlist text.  MOS models are deduplicated and
-    emitted as [.model] cards named [mod1], [mod2], ... *)
+(** Render a circuit back to netlist text.  MOS models registered via
+    {!Circuit.name_model} (every [.model] card the reader saw) keep their
+    original names; only unnamed, programmatically built models are
+    deduplicated into generated [mod1], [mod2], ... cards. *)

@@ -1,0 +1,296 @@
+module Ast = Netlist_ast
+
+type analysis =
+  | Op
+  | Ac_analysis of { per_decade : int; f_lo : float; f_hi : float; out : string }
+  | Tran_analysis of { dt : float; t_stop : float; out : string }
+  | Dc_analysis of {
+      source : string;
+      start : float;
+      stop : float;
+      step : float;
+      out : string;
+    }
+
+type origin = {
+  devices : (string, Ast.span) Hashtbl.t;
+  nodes : (string, Ast.span) Hashtbl.t;
+}
+
+let create_origin () = { devices = Hashtbl.create 32; nodes = Hashtbl.create 32 }
+
+let is_ground name = name = "0" || name = "gnd" || name = "GND"
+
+(* ---------- parameter environments ---------- *)
+
+(* newest binding first, so a redefinition shadows *)
+type env = (string * float) list
+
+let rec eval (env : env) span = function
+  | Ast.Num v -> v
+  | Ast.Ref name -> begin
+      match List.assoc_opt name env with
+      | Some v -> v
+      | None -> Ast.error span ("unknown parameter " ^ name ^ " in expression")
+    end
+  | Ast.Bin (op, a, b) ->
+      let va = eval env span a and vb = eval env span b in
+      (match op with
+      | Ast.Add -> va +. vb
+      | Ast.Sub -> va -. vb
+      | Ast.Mul -> va *. vb
+      | Ast.Div -> va /. vb)
+  | Ast.Neg e -> -.eval env span e
+
+let eval_value env (v : Ast.value) = eval env v.vspan v.expr
+
+(* ---------- .model cards ---------- *)
+
+let model_of_card env (kind : Ast.ident) (params : Ast.assign list) =
+  let polarity =
+    match String.lowercase_ascii kind.id with
+    | "nmos" -> Mosfet.Nmos
+    | "pmos" -> Mosfet.Pmos
+    | other -> Ast.error kind.ispan ("unknown model kind " ^ other)
+  in
+  let find key =
+    List.find_map
+      (fun (a : Ast.assign) ->
+        if String.lowercase_ascii a.key.id = key then Some (eval_value env a.v)
+        else None)
+      params
+  in
+  let get key default = Option.value (find key) ~default in
+  let required span key =
+    match find key with
+    | Some v -> v
+    | None -> Ast.error span ("missing model parameter " ^ key)
+  in
+  fun span ->
+    {
+      Mosfet.polarity;
+      vth0 = required span "vth0";
+      kp = required span "kp";
+      gamma = get "gamma" 0.5;
+      phi = get "phi" 0.7;
+      lambda0 = get "lambda0" 0.05;
+      n_slope = get "n" 1.3;
+      cox = get "cox" 4.5e-3;
+      cgso = get "cgso" 1.2e-10;
+      cgdo = get "cgdo" 1.2e-10;
+      cj = get "cj" 9e-4;
+      cjsw = get "cjsw" 2.5e-10;
+      ext = get "ext" 8.5e-7;
+    }
+
+(* ---------- elaboration ---------- *)
+
+type subckt_def = { ports : Ast.ident list; body : Ast.statement list }
+
+let elaborate ?origin (ast : Ast.t) =
+  let circuit = Circuit.create () in
+  let analyses = ref [] in
+  let models : (string, Mosfet.model) Hashtbl.t = Hashtbl.create 8 in
+  let subckts : (string, subckt_def) Hashtbl.t = Hashtbl.create 4 in
+  (* definitions are collected up front (forward references from X cards are
+     allowed, matching the original reader); a redefinition wins *)
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Subckt { name; ports; body; _ } ->
+          Hashtbl.replace subckts name.id { ports; body }
+      | Ast.Card _ -> ())
+    ast.statements;
+  let record tbl name span =
+    match origin with
+    | Some o ->
+        let t = match tbl with `Device -> o.devices | `Node -> o.nodes in
+        if not (Hashtbl.mem t name) then Hashtbl.add t name span
+    | None -> ()
+  in
+  let add span dev =
+    match Circuit.add circuit dev with
+    | () -> ()
+    | exception Invalid_argument msg -> Ast.error span msg
+  in
+  (* [rename] maps node names (instance ports to outer nodes, internals to
+     prefixed names); [prefix] is prepended to device names *)
+  let rec handle_card ~env ~rename ~prefix span card =
+    let node (i : Ast.ident) =
+      let name = rename i.id in
+      record `Node name i.ispan;
+      Circuit.node circuit name
+    in
+    let device_name (i : Ast.ident) =
+      let name = prefix ^ i.id in
+      record `Device name span;
+      name
+    in
+    let ev v = eval_value !env v in
+    match card with
+    | Ast.Resistor { name; n1; n2; r } ->
+        add span
+          (Device.Resistor
+             { name = device_name name; n1 = node n1; n2 = node n2; ohms = ev r })
+    | Ast.Capacitor { name; n1; n2; c } ->
+        add span
+          (Device.Capacitor
+             { name = device_name name; n1 = node n1; n2 = node n2; farads = ev c })
+    | Ast.Vsource { name; npos; nneg; dc; ac } ->
+        add span
+          (Device.Vsource
+             {
+               name = device_name name;
+               npos = node npos;
+               nneg = node nneg;
+               dc = ev dc;
+               ac = (match ac with Some a -> ev a | None -> 0.);
+               wave = Device.Constant;
+             })
+    | Ast.Isource { name; npos; nneg; dc; ac } ->
+        add span
+          (Device.Isource
+             {
+               name = device_name name;
+               npos = node npos;
+               nneg = node nneg;
+               dc = ev dc;
+               ac = (match ac with Some a -> ev a | None -> 0.);
+               wave = Device.Constant;
+             })
+    | Ast.Vccs { name; out_p; out_n; in_p; in_n; gm } ->
+        add span
+          (Device.Vccs
+             {
+               name = device_name name;
+               out_p = node out_p;
+               out_n = node out_n;
+               in_p = node in_p;
+               in_n = node in_n;
+               gm = ev gm;
+             })
+    | Ast.Mosfet { name; d; g; s; b; model; params } -> begin
+        match Hashtbl.find_opt models model.id with
+        | None -> Ast.error model.ispan ("unknown model " ^ model.id)
+        | Some m ->
+            let w = ref None and l = ref None in
+            List.iter
+              (fun (a : Ast.assign) ->
+                match String.lowercase_ascii a.key.id with
+                | "w" -> w := Some (ev a.v)
+                | "l" -> l := Some (ev a.v)
+                | other ->
+                    Ast.error a.key.ispan
+                      ("unknown MOSFET instance parameter " ^ other))
+              params;
+            let geom which r =
+              match !r with
+              | Some v -> v
+              | None ->
+                  Ast.error span ("missing " ^ which ^ " on " ^ name.id)
+            in
+            add span
+              (Device.Mosfet
+                 {
+                   name = device_name name;
+                   d = node d;
+                   g = node g;
+                   s = node s;
+                   b = node b;
+                   model = m;
+                   w = geom "w" w;
+                   l = geom "l" l;
+                 })
+      end
+    | Ast.Instance { name; conns; sub } -> begin
+        match Hashtbl.find_opt subckts sub.id with
+        | None -> Ast.error sub.ispan ("unknown subcircuit " ^ sub.id)
+        | Some { ports; body } ->
+            if List.length conns <> List.length ports then
+              Ast.error span
+                (Printf.sprintf "%s: %d connections for %d ports" name.id
+                   (List.length conns) (List.length ports));
+            (* ports bind to the (renamed) outer nodes; everything else
+               becomes instance-local *)
+            let binding =
+              List.map2
+                (fun (p : Ast.ident) (n : Ast.ident) ->
+                  let outer = rename n.id in
+                  record `Node outer n.ispan;
+                  (p.id, outer))
+                ports conns
+            in
+            let inner_prefix = prefix ^ name.id ^ "." in
+            let rename' node_name =
+              if is_ground node_name then node_name
+              else
+                match List.assoc_opt node_name binding with
+                | Some outer -> outer
+                | None -> inner_prefix ^ node_name
+            in
+            (* the instance body evaluates under the environment in force at
+               the instantiation point; its own .param cards stay local *)
+            let env' = ref !env in
+            List.iter
+              (fun stmt ->
+                match stmt with
+                | Ast.Card { card; span } ->
+                    handle_card ~env:env' ~rename:rename' ~prefix:inner_prefix
+                      span card
+                | Ast.Subckt { span; _ } ->
+                    Ast.error span
+                      "nested .subckt definitions are not supported")
+              body
+      end
+    | Ast.Model { name; kind; params } ->
+        let m = model_of_card !env kind params span in
+        Hashtbl.replace models name.id m;
+        Circuit.name_model circuit name.id m
+    | Ast.Param assigns ->
+        List.iter
+          (fun (a : Ast.assign) ->
+            env := (String.lowercase_ascii a.key.id, ev a.v) :: !env)
+          assigns
+    | Ast.Nodeset entries ->
+        List.iter
+          (fun ((n : Ast.ident), v) ->
+            let name = rename n.id in
+            record `Node name n.ispan;
+            Circuit.nodeset circuit (Circuit.node circuit name) (ev v))
+          entries
+    | Ast.Analysis a ->
+        let runtime =
+          match a with
+          | Ast.Op -> Op
+          | Ast.Ac { per_decade; f_lo; f_hi; out } ->
+              Ac_analysis
+                {
+                  per_decade = int_of_float (ev per_decade);
+                  f_lo = ev f_lo;
+                  f_hi = ev f_hi;
+                  out = out.id;
+                }
+          | Ast.Tran { dt; t_stop; out } ->
+              Tran_analysis { dt = ev dt; t_stop = ev t_stop; out = out.id }
+          | Ast.Dc { source; start; stop; step; out } ->
+              Dc_analysis
+                {
+                  source = source.id;
+                  start = ev start;
+                  stop = ev stop;
+                  step = ev step;
+                  out = out.id;
+                }
+        in
+        analyses := (runtime, span) :: !analyses
+    | Ast.End -> ()
+  in
+  let env = ref [] in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Card { card; span } ->
+          handle_card ~env ~rename:Fun.id ~prefix:"" span card
+      | Ast.Subckt _ -> ())
+    ast.statements;
+  (circuit, List.rev !analyses)

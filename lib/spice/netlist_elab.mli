@@ -1,0 +1,44 @@
+(** Netlist elaboration: AST to a flat {!Circuit.t}.
+
+    A separate pass after parsing, so static analysis can run over the
+    hierarchical AST first.  Elaboration walks top-level cards in order,
+    evaluates [.param] arithmetic (sequential scoping: a parameter must be
+    assigned before use; instance bodies inherit the environment in force at
+    the instantiation point, and their own [.param] cards stay local),
+    registers [.model] cards (names preserved via {!Circuit.name_model}),
+    and expands every [X] instance: port nodes bind to the outer connection,
+    internal nodes and device names gain an [X<id>.] prefix, exactly like
+    the original flattening reader — so elaborated circuits are equivalent
+    card for card.
+
+    All failures (unknown model/subcircuit/parameter, port-arity mismatch,
+    duplicate device names, missing [w]/[l]) raise
+    {!Netlist_ast.Parse_error} with the offending card's span. *)
+
+type analysis =
+  | Op
+  | Ac_analysis of { per_decade : int; f_lo : float; f_hi : float; out : string }
+  | Tran_analysis of { dt : float; t_stop : float; out : string }
+  | Dc_analysis of {
+      source : string;
+      start : float;
+      stop : float;
+      step : float;
+      out : string;
+    }
+
+type origin = {
+  devices : (string, Netlist_ast.span) Hashtbl.t;
+      (** flattened device name -> defining card span *)
+  nodes : (string, Netlist_ast.span) Hashtbl.t;
+      (** flattened node name -> span of the first reference *)
+}
+(** Provenance side tables, filled during elaboration when requested, so
+    circuit-level lint findings can point back at source regions. *)
+
+val create_origin : unit -> origin
+
+val elaborate :
+  ?origin:origin -> Netlist_ast.t -> Circuit.t * (analysis * Netlist_ast.span) list
+(** Analyses come back in card order, each with its card's span.
+    @raise Netlist_ast.Parse_error on any semantic error. *)

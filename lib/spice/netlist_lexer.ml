@@ -1,0 +1,125 @@
+module Ast = Netlist_ast
+
+type token = { text : string; span : Ast.span }
+
+type line = { tokens : token list; lspan : Ast.span }
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+(* Tokenize one physical line.  [lineno] is 1-based; columns are 1-based
+   byte offsets into the line.  A ';' outside braces comments out the rest
+   of the line; a '{' swallows everything (spaces included) up to its
+   matching '}', so parameter expressions like [{w * 2}] stay one token. *)
+let tokenize_line ~lineno s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < n do
+    if is_space s.[!i] then incr i
+    else if s.[!i] = ';' then stop := true
+    else begin
+      let start = !i in
+      let depth = ref 0 in
+      let finished = ref false in
+      while (not !finished) && !i < n do
+        let c = s.[!i] in
+        if c = '{' then begin
+          incr depth;
+          incr i
+        end
+        else if c = '}' then begin
+          if !depth > 0 then decr depth;
+          incr i
+        end
+        else if !depth > 0 then incr i
+        else if is_space c || c = ';' then finished := true
+        else incr i
+      done;
+      if !depth > 0 then
+        Ast.error
+          {
+            start_line = lineno;
+            start_col = start + 1;
+            end_line = lineno;
+            end_col = n + 1;
+          }
+          "unterminated { expression (braces must close on the same \
+           physical line)";
+      let text = String.sub s start (!i - start) in
+      let span =
+        {
+          Ast.start_line = lineno;
+          start_col = start + 1;
+          end_line = lineno;
+          end_col = !i + 1;
+        }
+      in
+      tokens := { text; span } :: !tokens
+    end
+  done;
+  List.rev !tokens
+
+let line_of_tokens tokens =
+  match tokens with
+  | [] -> invalid_arg "Netlist_lexer.line_of_tokens: empty"
+  | first :: _ ->
+      let last = List.fold_left (fun _ t -> t) first tokens in
+      { tokens; lspan = Ast.hull first.span last.span }
+
+(* first non-blank character of a physical line, with its 0-based index *)
+let first_nonblank s =
+  let n = String.length s in
+  let rec go i = if i < n && is_space s.[i] then go (i + 1) else i in
+  let i = go 0 in
+  if i < n then Some (i, s.[i]) else None
+
+let tokenize text =
+  let physical = String.split_on_char '\n' text in
+  (* most-recent logical line sits at the head as a reversed token list *)
+  let logical : token list list ref = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      match first_nonblank raw with
+      | None -> ()
+      | Some (_, '*') -> ()
+      | Some (at, '+') -> begin
+          let rest =
+            String.sub raw (at + 1) (String.length raw - at - 1)
+            |> tokenize_line ~lineno
+          in
+          (* token columns shift by the stripped "+" prefix *)
+          let rest =
+            List.map
+              (fun t ->
+                {
+                  t with
+                  span =
+                    {
+                      t.span with
+                      Ast.start_col = t.span.Ast.start_col + at + 1;
+                      end_col = t.span.Ast.end_col + at + 1;
+                    };
+                })
+              rest
+          in
+          match !logical with
+          | [] ->
+              Ast.error
+                {
+                  start_line = lineno;
+                  start_col = at + 1;
+                  end_line = lineno;
+                  end_col = at + 2;
+                }
+                "continuation line with nothing to continue"
+          | current :: older -> logical := List.rev_append rest current :: older
+        end
+      | Some (_, _) -> begin
+          match tokenize_line ~lineno raw with
+          | [] -> ()
+          | tokens -> logical := List.rev tokens :: !logical
+        end)
+    physical;
+  List.rev_map (fun rev -> line_of_tokens (List.rev rev)) !logical

@@ -1,0 +1,23 @@
+(** Netlist lexer: physical lines to logical lines of spanned tokens.
+
+    - ['*'] as the first non-blank character comments out the physical line;
+      [';'] comments out the rest of one (outside braces).
+    - ['+'] as the first non-blank character continues the previous logical
+      line; the joined tokens keep their own physical-line spans.
+    - Tokens are whitespace-separated byte strings, except that a ['{']
+      swallows everything up to its matching ['}'] (spaces included), so
+      [.param] expressions like [{w * 2 + 1u}] stay single tokens.  Braces
+      must close on the same physical line.
+
+    The lexer never raises anything but {!Netlist_ast.Parse_error}, and
+    accepts arbitrary bytes — garbage becomes tokens for the parser to
+    reject with a span. *)
+
+type token = { text : string; span : Netlist_ast.span }
+
+type line = { tokens : token list; lspan : Netlist_ast.span }
+(** One logical line: at least one token; [lspan] hulls all of them. *)
+
+val tokenize : string -> line list
+(** @raise Netlist_ast.Parse_error on an unterminated brace or a leading
+    continuation line. *)

@@ -1,0 +1,425 @@
+module Ast = Netlist_ast
+module Lexer = Netlist_lexer
+
+let lower = String.lowercase_ascii
+
+let ident_of (tok : Lexer.token) : Ast.ident =
+  { id = tok.text; ispan = tok.span }
+
+(* ---------- {..} expression parsing ---------- *)
+
+(* The character stream of a brace expression, with [base] locating the
+   whole token so errors can point at it.  Individual sub-expressions keep
+   the token's span — column precision inside a brace is not worth a second
+   position tracker. *)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_num_start c = (c >= '0' && c <= '9') || c = '.'
+
+type etok = Enum of float | Eref of string | Eop of char
+
+let expr_lex span s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if is_num_start c then begin
+      (* a number with optional engineering suffix: digits, '.', letters,
+         and a sign right after an exponent 'e' *)
+      let start = !i in
+      let prev_e = ref false in
+      let continue = ref true in
+      while !continue && !i < n do
+        let d = s.[!i] in
+        if
+          is_ident_char d || d = '.'
+          || ((d = '+' || d = '-') && !prev_e)
+        then begin
+          prev_e := d = 'e' || d = 'E';
+          incr i
+        end
+        else continue := false
+      done;
+      let text = String.sub s start (!i - start) in
+      match Ast.float_of_spice text with
+      | Some v -> out := Enum v :: !out
+      | None -> Ast.error span ("cannot parse number " ^ text ^ " in expression")
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      out := Eref (lower (String.sub s start (!i - start))) :: !out
+    end
+    else if c = '+' || c = '-' || c = '*' || c = '/' || c = '(' || c = ')'
+    then begin
+      out := Eop c :: !out;
+      incr i
+    end
+    else
+      Ast.error span
+        (Printf.sprintf "unexpected character %C in expression" c)
+  done;
+  List.rev !out
+
+(* recursive descent with a depth bound so hostile input ("(((((...") can
+   never overflow the stack *)
+let max_expr_depth = 100
+
+let parse_expr span toks =
+  let toks = ref toks in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let rec atom depth =
+    if depth > max_expr_depth then
+      Ast.error span "expression too deeply nested";
+    match peek () with
+    | Some (Enum v) ->
+        advance ();
+        Ast.Num v
+    | Some (Eref r) ->
+        advance ();
+        Ast.Ref r
+    | Some (Eop '-') ->
+        advance ();
+        Ast.Neg (atom (depth + 1))
+    | Some (Eop '+') ->
+        advance ();
+        atom (depth + 1)
+    | Some (Eop '(') ->
+        advance ();
+        let e = sum (depth + 1) in
+        (match peek () with
+        | Some (Eop ')') -> advance ()
+        | _ -> Ast.error span "expected ) in expression");
+        e
+    | Some (Eop c) ->
+        Ast.error span (Printf.sprintf "unexpected %C in expression" c)
+    | None -> Ast.error span "truncated expression"
+  and product depth =
+    let left = atom depth in
+    let rec go acc =
+      match peek () with
+      | Some (Eop '*') ->
+          advance ();
+          go (Ast.Bin (Ast.Mul, acc, atom depth))
+      | Some (Eop '/') ->
+          advance ();
+          go (Ast.Bin (Ast.Div, acc, atom depth))
+      | _ -> acc
+    in
+    go left
+  and sum depth =
+    let left = product depth in
+    let rec go acc =
+      match peek () with
+      | Some (Eop '+') ->
+          advance ();
+          go (Ast.Bin (Ast.Add, acc, product depth))
+      | Some (Eop '-') ->
+          advance ();
+          go (Ast.Bin (Ast.Sub, acc, product depth))
+      | _ -> acc
+    in
+    go left
+  in
+  let e = sum 0 in
+  (match peek () with
+  | Some _ -> Ast.error span "trailing tokens in expression"
+  | None -> ());
+  e
+
+(* ---------- values and key=value fields ---------- *)
+
+let value_of_text span text : Ast.value =
+  let n = String.length text in
+  if n >= 2 && text.[0] = '{' && text.[n - 1] = '}' then
+    let inner = String.sub text 1 (n - 2) in
+    { text; expr = parse_expr span (expr_lex span inner); vspan = span }
+  else
+    match Ast.float_of_spice text with
+    | Some v -> { text; expr = Ast.Num v; vspan = span }
+    | None -> Ast.error span ("cannot parse value " ^ text)
+
+let value_of (tok : Lexer.token) = value_of_text tok.span tok.text
+
+(* split "key=value" at the first '=' outside braces (there are no braces
+   before the '=' in practice, so the first '=' is it) *)
+let assign_of (tok : Lexer.token) : Ast.assign =
+  match String.index_opt tok.text '=' with
+  | None | Some 0 ->
+      Ast.error tok.span ("expected key=value, got " ^ tok.text)
+  | Some i ->
+      let key = String.sub tok.text 0 i in
+      let v = String.sub tok.text (i + 1) (String.length tok.text - i - 1) in
+      if v = "" then Ast.error tok.span ("missing value in " ^ tok.text);
+      let kspan = { tok.span with Ast.end_col = tok.span.Ast.start_col + i } in
+      let vspan =
+        { tok.span with Ast.start_col = tok.span.Ast.start_col + i + 1 }
+      in
+      { key = { id = key; ispan = kspan }; v = value_of_text vspan v }
+
+let assigns_of toks = List.map assign_of toks
+
+(* ---------- cards ---------- *)
+
+let nodeset_entry (tok : Lexer.token) : Ast.ident * Ast.value =
+  match String.index_opt tok.text '=' with
+  | None -> Ast.error tok.span "malformed .nodeset entry (want v(<node>)=<volts>)"
+  | Some eq ->
+      let lhs = String.sub tok.text 0 eq in
+      let rhs =
+        String.sub tok.text (eq + 1) (String.length tok.text - eq - 1)
+      in
+      let len = String.length lhs in
+      if
+        len < 4
+        || lower (String.sub lhs 0 2) <> "v("
+        || lhs.[len - 1] <> ')'
+      then
+        Ast.error tok.span
+          "malformed .nodeset entry (want v(<node>)=<volts>)"
+      else begin
+        let node = String.sub lhs 2 (len - 3) in
+        let nspan =
+          {
+            tok.span with
+            Ast.start_col = tok.span.Ast.start_col + 2;
+            end_col = tok.span.Ast.start_col + len - 1;
+          }
+        in
+        let vspan =
+          { tok.span with Ast.start_col = tok.span.Ast.start_col + eq + 1 }
+        in
+        ({ Ast.id = node; ispan = nspan }, value_of_text vspan rhs)
+      end
+
+(* the ac= tail of a V/I card: only the [ac] key is defined *)
+let source_tail opts =
+  List.fold_left
+    (fun ac (a : Ast.assign) ->
+      match lower a.key.id with
+      | "ac" -> begin
+          match ac with
+          | None -> Some a.v
+          | Some _ -> Ast.error a.key.ispan "duplicate ac= on source card"
+        end
+      | other ->
+          Ast.error a.key.ispan
+            (Printf.sprintf "unknown source option %s (only ac= is defined)"
+               other))
+    None (assigns_of opts)
+
+let analysis_of span (head : Lexer.token) rest : Ast.analysis =
+  match (lower head.text, (rest : Lexer.token list)) with
+  | ".op", [] -> Ast.Op
+  | ".ac", [ mode; pts; f_lo; f_hi; out ] when lower mode.text = "dec" ->
+      Ast.Ac
+        {
+          per_decade = value_of pts;
+          f_lo = value_of f_lo;
+          f_hi = value_of f_hi;
+          out = ident_of out;
+        }
+  | ".tran", [ dt; t_stop; out ] ->
+      Ast.Tran
+        { dt = value_of dt; t_stop = value_of t_stop; out = ident_of out }
+  | ".dc", [ source; start; stop; step; out ] ->
+      Ast.Dc
+        {
+          source = ident_of source;
+          start = value_of start;
+          stop = value_of stop;
+          step = value_of step;
+          out = ident_of out;
+        }
+  | _ ->
+      Ast.error span
+        ("malformed analysis card: "
+        ^ String.concat " " (List.map (fun (t : Lexer.token) -> t.text) (head :: rest)))
+
+let is_analysis_card l = l = ".op" || l = ".ac" || l = ".tran" || l = ".dc"
+
+let card_of_line ~in_subckt (line : Lexer.line) : Ast.card =
+  match line.tokens with
+  | [] -> assert false (* the lexer never yields an empty logical line *)
+  | head :: rest -> begin
+      let l = lower head.text in
+      let span = line.lspan in
+      let need_name () = ident_of head in
+      match l.[0] with
+      | '.' when is_analysis_card l ->
+          if in_subckt then
+            Ast.error span "analysis cards are not allowed inside .subckt"
+          else Ast.Analysis (analysis_of span head rest)
+      | '.' when l = ".model" -> begin
+          match rest with
+          | name :: kind :: opts ->
+              Ast.Model
+                {
+                  name = ident_of name;
+                  kind = ident_of kind;
+                  params = assigns_of opts;
+                }
+          | _ -> Ast.error span "malformed .model card"
+        end
+      | '.' when l = ".param" -> begin
+          match rest with
+          | [] -> Ast.error span ".param without assignments"
+          | opts -> Ast.Param (assigns_of opts)
+        end
+      | '.' when l = ".nodeset" -> begin
+          match rest with
+          | [] -> Ast.error span ".nodeset without entries"
+          | entries -> Ast.Nodeset (List.map nodeset_entry entries)
+        end
+      | '.' when l = ".end" ->
+          if in_subckt then
+            Ast.error span "unexpected .end inside .subckt (expected .ends)"
+          else Ast.End
+      | '.' -> Ast.error head.span ("unknown directive " ^ head.text)
+      | 'r' -> begin
+          match rest with
+          | [ n1; n2; r ] ->
+              Ast.Resistor
+                {
+                  name = need_name ();
+                  n1 = ident_of n1;
+                  n2 = ident_of n2;
+                  r = value_of r;
+                }
+          | _ -> Ast.error span ("malformed resistor card " ^ head.text)
+        end
+      | 'c' -> begin
+          match rest with
+          | [ n1; n2; c ] ->
+              Ast.Capacitor
+                {
+                  name = need_name ();
+                  n1 = ident_of n1;
+                  n2 = ident_of n2;
+                  c = value_of c;
+                }
+          | _ -> Ast.error span ("malformed capacitor card " ^ head.text)
+        end
+      | 'v' | 'i' -> begin
+          match rest with
+          | npos :: nneg :: dc :: opts ->
+              let name = need_name ()
+              and npos = ident_of npos
+              and nneg = ident_of nneg
+              and dc = value_of dc
+              and ac = source_tail opts in
+              if l.[0] = 'v' then Ast.Vsource { name; npos; nneg; dc; ac }
+              else Ast.Isource { name; npos; nneg; dc; ac }
+          | _ -> Ast.error span ("malformed source card " ^ head.text)
+        end
+      | 'g' -> begin
+          match rest with
+          | [ op; on; ip; inn; gm ] ->
+              Ast.Vccs
+                {
+                  name = need_name ();
+                  out_p = ident_of op;
+                  out_n = ident_of on;
+                  in_p = ident_of ip;
+                  in_n = ident_of inn;
+                  gm = value_of gm;
+                }
+          | _ -> Ast.error span ("malformed VCCS card " ^ head.text)
+        end
+      | 'm' -> begin
+          match rest with
+          | d :: g :: s :: b :: model :: opts ->
+              Ast.Mosfet
+                {
+                  name = need_name ();
+                  d = ident_of d;
+                  g = ident_of g;
+                  s = ident_of s;
+                  b = ident_of b;
+                  model = ident_of model;
+                  params = assigns_of opts;
+                }
+          | _ -> Ast.error span ("malformed MOSFET card " ^ head.text)
+        end
+      | 'x' -> begin
+          match List.rev rest with
+          | [] -> Ast.error span ("malformed instance: " ^ head.text)
+          | sub :: rev_conns ->
+              Ast.Instance
+                {
+                  name = need_name ();
+                  conns = List.rev_map ident_of rev_conns;
+                  sub = ident_of sub;
+                }
+        end
+      | _ ->
+          Ast.error span
+            ("malformed card: "
+            ^ String.concat " "
+                (List.map (fun (t : Lexer.token) -> t.text) line.tokens))
+    end
+
+(* ---------- statements ---------- *)
+
+let parse text : Ast.t =
+  let lines = Lexer.tokenize text in
+  let rec top acc = function
+    | [] -> List.rev acc
+    | (line : Lexer.line) :: rest -> begin
+        match line.tokens with
+        | [] -> top acc rest
+        | head :: args -> begin
+            match lower head.text with
+            | ".subckt" -> begin
+                match args with
+                | name :: (_ :: _ as ports) ->
+                    let body, ends_span, rest' = body line.lspan [] rest in
+                    let stmt =
+                      Ast.Subckt
+                        {
+                          name = ident_of name;
+                          ports = List.map ident_of ports;
+                          body;
+                          span = Ast.hull line.lspan ends_span;
+                        }
+                    in
+                    top (stmt :: acc) rest'
+                | _ ->
+                    Ast.error line.lspan
+                      "malformed .subckt header (want .subckt <name> <port>...)"
+              end
+            | ".ends" -> Ast.error line.lspan ".ends without .subckt"
+            | _ ->
+                let card = card_of_line ~in_subckt:false line in
+                top (Ast.Card { card; span = line.lspan } :: acc) rest
+          end
+      end
+  and body opening acc = function
+    | [] ->
+        Ast.error opening
+          "unterminated .subckt (missing .ends before end of input)"
+    | (line : Lexer.line) :: rest -> begin
+        match line.tokens with
+        | [] -> body opening acc rest
+        | head :: _ -> begin
+            match lower head.text with
+            | ".ends" -> (List.rev acc, line.lspan, rest)
+            | ".subckt" ->
+                Ast.error line.lspan
+                  "nested .subckt definitions are not supported"
+            | _ ->
+                let card = card_of_line ~in_subckt:true line in
+                body opening (Ast.Card { card; span = line.lspan } :: acc) rest
+          end
+      end
+  in
+  { statements = top [] lines }

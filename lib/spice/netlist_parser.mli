@@ -1,0 +1,16 @@
+(** Recursive-descent netlist parser: logical lines to the typed AST.
+
+    Dispatches on the first token of each logical line (element letter or
+    directive, case-insensitive), keeps [.subckt] definitions hierarchical
+    (bodies are parsed eagerly but not instantiated — {!Netlist_elab} does
+    that), and parses [{...}] parameter arithmetic into expression trees.
+
+    All failures raise {!Netlist_ast.Parse_error} with the precise span of
+    the offending token or card — never [Failure], never a crash, on any
+    byte sequence. *)
+
+val parse : string -> Netlist_ast.t
+(** @raise Netlist_ast.Parse_error on malformed input. *)
+
+val value_of_text : Netlist_ast.span -> string -> Netlist_ast.value
+(** Parse one value field ("10k" or "{w*2+1u}") — exposed for tests. *)

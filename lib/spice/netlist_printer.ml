@@ -1,0 +1,74 @@
+module Ast = Netlist_ast
+
+(* The canonical layout: one card per logical line, single spaces, directives
+   lowercased, every identifier and value emitted as its verbatim source
+   text.  Because parsing preserves those texts and the layout is a pure
+   function of the AST, print-of-parse is a byte fixpoint: the first print
+   normalises whitespace, comments, continuations and directive case, and
+   every later parse/print cycle reproduces it exactly. *)
+
+let assign (a : Ast.assign) = a.key.id ^ "=" ^ a.v.text
+
+let analysis = function
+  | Ast.Op -> ".op"
+  | Ast.Ac { per_decade; f_lo; f_hi; out } ->
+      String.concat " "
+        [ ".ac"; "dec"; per_decade.text; f_lo.text; f_hi.text; out.id ]
+  | Ast.Tran { dt; t_stop; out } ->
+      String.concat " " [ ".tran"; dt.text; t_stop.text; out.id ]
+  | Ast.Dc { source; start; stop; step; out } ->
+      String.concat " "
+        [ ".dc"; source.id; start.text; stop.text; step.text; out.id ]
+
+let card = function
+  | Ast.Resistor { name; n1; n2; r } ->
+      String.concat " " [ name.id; n1.id; n2.id; r.text ]
+  | Ast.Capacitor { name; n1; n2; c } ->
+      String.concat " " [ name.id; n1.id; n2.id; c.text ]
+  | Ast.Vsource { name; npos; nneg; dc; ac }
+  | Ast.Isource { name; npos; nneg; dc; ac } ->
+      String.concat " "
+        ([ name.id; npos.id; nneg.id; dc.text ]
+        @ match ac with Some a -> [ "ac=" ^ a.text ] | None -> [])
+  | Ast.Vccs { name; out_p; out_n; in_p; in_n; gm } ->
+      String.concat " "
+        [ name.id; out_p.id; out_n.id; in_p.id; in_n.id; gm.text ]
+  | Ast.Mosfet { name; d; g; s; b; model; params } ->
+      String.concat " "
+        ([ name.id; d.id; g.id; s.id; b.id; model.id ]
+        @ List.map assign params)
+  | Ast.Instance { name; conns; sub } ->
+      String.concat " "
+        ((name.id :: List.map (fun (i : Ast.ident) -> i.id) conns) @ [ sub.id ])
+  | Ast.Model { name; kind; params } ->
+      String.concat " "
+        ((".model" :: name.id :: kind.id :: []) @ List.map assign params)
+  | Ast.Param assigns ->
+      String.concat " " (".param" :: List.map assign assigns)
+  | Ast.Nodeset entries ->
+      String.concat " "
+        (".nodeset"
+        :: List.map
+             (fun ((n : Ast.ident), (v : Ast.value)) ->
+               "v(" ^ n.id ^ ")=" ^ v.text)
+             entries)
+  | Ast.Analysis a -> analysis a
+  | Ast.End -> ".end"
+
+let rec statement buf = function
+  | Ast.Card { card = c; _ } ->
+      Buffer.add_string buf (card c);
+      Buffer.add_char buf '\n'
+  | Ast.Subckt { name; ports; body; _ } ->
+      Buffer.add_string buf
+        (String.concat " "
+           (".subckt" :: name.id
+           :: List.map (fun (p : Ast.ident) -> p.id) ports));
+      Buffer.add_char buf '\n';
+      List.iter (statement buf) body;
+      Buffer.add_string buf ".ends\n"
+
+let to_string (ast : Ast.t) =
+  let buf = Buffer.create 1024 in
+  List.iter (statement buf) ast.statements;
+  Buffer.contents buf

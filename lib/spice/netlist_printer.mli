@@ -1,0 +1,14 @@
+(** Canonical netlist pretty-printer.
+
+    [to_string (parse text)] normalises layout (single spaces, one card per
+    line, lowercased directives, comments and continuations dropped) while
+    emitting every name and value as its verbatim source text — so
+    print-of-parse is byte-idempotent:
+    [to_string (parse (to_string (parse text))) = to_string (parse text)]
+    for every parseable [text].  Pinned by the round-trip suites in
+    [test/t_netlist.ml] and the CI idempotence job. *)
+
+val to_string : Netlist_ast.t -> string
+
+val card : Netlist_ast.card -> string
+(** One card, without the trailing newline. *)

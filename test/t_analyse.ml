@@ -69,7 +69,7 @@ let test_json_golden () =
   in
   Alcotest.(check string)
     "list_to_json"
-    "{\"version\":1,\"findings\":[{\"code\":\"T003\",\"severity\":\"error\",\"subject\":\"gain\",\"message\":\"duplicate abscissa\",\"file\":\"m.tbl\",\"line\":3},{\"code\":\"N001\",\"severity\":\"warning\",\"subject\":\"nx\",\"message\":\"msg\",\"file\":null,\"line\":null}],\"errors\":1,\"warnings\":1,\"infos\":0,\"worst\":\"error\"}"
+    "{\"version\":2,\"findings\":[{\"code\":\"T003\",\"severity\":\"error\",\"subject\":\"gain\",\"message\":\"duplicate abscissa\",\"file\":\"m.tbl\",\"line\":3,\"span\":null},{\"code\":\"N001\",\"severity\":\"warning\",\"subject\":\"nx\",\"message\":\"msg\",\"file\":null,\"line\":null,\"span\":null}],\"errors\":1,\"warnings\":1,\"infos\":0,\"worst\":\"error\"}"
     (Yield_obs.Json.to_string (Diagnostic.list_to_json diags))
 
 (* ---------- netlist lint <-> Dcop contract ---------- *)
@@ -181,7 +181,12 @@ let test_netlist_check_file () =
       match Netlist_lint.check_file path with
       | [ diag ] ->
           Alcotest.(check string) "N000" "N000" diag.Diagnostic.code;
-          Alcotest.(check (option int)) "line" (Some 2) diag.Diagnostic.line
+          Alcotest.(check (option int)) "line" (Some 2) diag.Diagnostic.line;
+          (match diag.Diagnostic.span with
+          | Some s ->
+              Alcotest.(check int) "span line" 2 s.Diagnostic.start_line;
+              Alcotest.(check bool) "span col" true (s.Diagnostic.start_col > 1)
+          | None -> Alcotest.fail "N000 should carry a span")
       | diags -> Alcotest.failf "expected one N000, got %d findings" (List.length diags))
 
 (* ---------- table lint <-> Tbl_io contract ---------- *)

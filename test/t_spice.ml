@@ -347,7 +347,8 @@ let test_netlist_roundtrip_flattened () =
 
 let test_netlist_errors () =
   (match Netlist.parse "M1 d g s b missing w=1u l=1u" with
-  | exception Netlist.Parse_error { line = 1; _ } -> ()
+  | exception Netlist.Parse_error
+      { span = { Yield_spice.Netlist_ast.start_line = 1; _ }; _ } -> ()
   | _ -> Alcotest.fail "expected parse error for unknown model");
   match Netlist.parse "Q1 a b c" with
   | exception Netlist.Parse_error _ -> ()

@@ -6,6 +6,7 @@ let () =
          T_obs.suites;
          T_stats.suites;
          T_spice.suites;
+         T_netlist.suites;
          T_tran.suites;
          T_extensions.suites;
          T_process.suites;
