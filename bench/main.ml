@@ -87,7 +87,72 @@ let jobs_sweep config =
           runs
       end
 
-let write_bench_json ?(sweep = []) ctx ~path =
+(* Corner-proof prescreen A/B: re-run the same flow with the corner-interval
+   prescreen armed against a wide spec window (gain >= 60 dB, which parts of
+   the front provably cannot reach over the 0.5-sigma box), so the BENCH
+   document records the Monte Carlo cut next to the no-prescreen reference.
+   The prescreen run's totals must come in strictly below the reference —
+   the perf gate's sim_counts are the reference run's, which is why this
+   runs as its own section instead of replacing the main flow. *)
+let prescreen_ab ctx =
+  let config = ctx.Experiments.config in
+  let ps =
+    {
+      Config.enabled = true;
+      k_sigma = 0.5;
+      min_gain_db = 60.;
+      min_pm_deg = 0.;
+      pass_budget_frac = 1.;
+    }
+  in
+  print_string
+    (Report.section "Monte Carlo prescreen: corner proofs before sampling");
+  let flow = Flow.run { config with Config.prescreen = ps } in
+  let base = ctx.Experiments.flow in
+  let base_total = Flow.total_sims base.Flow.counts in
+  let ps_total = Flow.total_sims flow.Flow.counts in
+  let pc =
+    match flow.Flow.prescreen with
+    | Some p -> p
+    | None -> assert false (* prescreen was enabled *)
+  in
+  let perf_tables_identical =
+    Perf_model.points base.Flow.perf_model
+    = Perf_model.points flow.Flow.perf_model
+  in
+  Printf.printf
+    "  window gain >= %g dB at k = %g\n\
+    \  analysed %d front points: %d provably-fail (MC skipped), %d \
+     provably-pass, %d undecided\n\
+    \  sim_counts.total %d vs %d without prescreen (%d MC samples saved)\n\
+    \  variation points %d vs %d; perf table identical: %b\n\
+     %!"
+    ps.Config.min_gain_db ps.Config.k_sigma pc.Flow.analysed
+    pc.Flow.fail_skipped pc.Flow.provably_passed pc.Flow.undecided ps_total
+    base_total (base_total - ps_total)
+    (Array.length flow.Flow.var_points)
+    (Array.length base.Flow.var_points)
+    perf_tables_identical;
+  Json.Obj
+    [
+      ("k_sigma", Json.Float ps.Config.k_sigma);
+      ("min_gain_db", Json.Float ps.Config.min_gain_db);
+      ("min_pm_deg", Json.Float ps.Config.min_pm_deg);
+      ("analysed", Json.Int pc.Flow.analysed);
+      ("fail_skipped", Json.Int pc.Flow.fail_skipped);
+      ("provably_passed", Json.Int pc.Flow.provably_passed);
+      ("undecided", Json.Int pc.Flow.undecided);
+      ("sim_counts_total", Json.Int ps_total);
+      ("no_prescreen_total", Json.Int base_total);
+      ("mc_sims", Json.Int flow.Flow.counts.Flow.mc_sims);
+      ("no_prescreen_mc_sims", Json.Int base.Flow.counts.Flow.mc_sims);
+      ("var_points", Json.Int (Array.length flow.Flow.var_points));
+      ( "no_prescreen_var_points",
+        Json.Int (Array.length base.Flow.var_points) );
+      ("perf_table_identical", Json.Bool perf_tables_identical);
+    ]
+
+let write_bench_json ?(sweep = []) ?prescreen ctx ~path =
   let flow = ctx.Experiments.flow in
   let t = flow.Flow.timings in
   let c = flow.Flow.counts in
@@ -126,7 +191,11 @@ let write_bench_json ?(sweep = []) ctx ~path =
                (fun (n, s) -> (n, histogram_json s))
                snap.Metrics.histograms) );
       ]
-      @ (if sweep = [] then [] else [ ("jobs_sweep", Json.List sweep) ]))
+      @ (if sweep = [] then [] else [ ("jobs_sweep", Json.List sweep) ])
+      @
+      match prescreen with
+      | None -> []
+      | Some section -> [ ("prescreen", section) ])
   in
   Yield_obs.Sink.write_file ~path (Json.to_string json ^ "\n");
   Printf.printf "wrote %s\n%!" path;
@@ -789,7 +858,10 @@ let () =
     (Config.scale_name config);
   let sweep = jobs_sweep config in
   let ctx = Experiments.make_context ~log:(Printf.printf "%s\n%!") config in
-  let bench_json = write_bench_json ~sweep ctx ~path:"BENCH_flow.json" in
+  let prescreen = prescreen_ab ctx in
+  let bench_json =
+    write_bench_json ~sweep ~prescreen ctx ~path:"BENCH_flow.json"
+  in
   run_gate cli bench_json;
   if cli.check <> None || cli.write_baseline <> None then begin
     print_string (Report.section "done (perf gate)");

@@ -42,6 +42,7 @@ module Netlist_lint = Yield_analyse.Netlist_lint
 module Table_lint = Yield_analyse.Table_lint
 module Config_lint = Yield_analyse.Config_lint
 module Ac_tran_lint = Yield_analyse.Ac_tran_lint
+module Corner_lint = Yield_analyse.Corner_lint
 module Va_lint = Yield_analyse.Va_lint
 module Baseline = Yield_analyse.Baseline
 module Sarif = Yield_analyse.Sarif
@@ -498,13 +499,14 @@ let optimize_cmd =
 
 (* ---------- flow ---------- *)
 
-let flow fast topology out_dir checkpoint_dir resume no_preflight =
+let flow fast topology out_dir checkpoint_dir resume no_preflight prescreen =
   let config = if fast then Config.fast_scale else Config.paper_scale in
   let config =
     {
       config with
       Config.jobs = Yield_exec.Jobs.resolve ();
       telemetry = Config.telemetry_of_env ();
+      prescreen;
     }
   in
   let preflight = not no_preflight in
@@ -536,6 +538,14 @@ let flow fast topology out_dir checkpoint_dir resume no_preflight =
     (Flow.total_sims flow.Flow.counts)
     flow.Flow.counts.Flow.optimisation_sims flow.Flow.counts.Flow.front_sims
     flow.Flow.counts.Flow.mc_sims;
+  (match flow.Flow.prescreen with
+  | None -> ()
+  | Some ps ->
+      Printf.printf
+        "prescreen: %d analysed, %d provably-fail (MC skipped), %d \
+         provably-pass (%d budget-shrunk), %d undecided\n"
+        ps.Flow.analysed ps.Flow.fail_skipped ps.Flow.provably_passed
+        ps.Flow.pass_shrunk ps.Flow.undecided);
   Printf.printf "timings: optimisation %.1f s, mc %.1f s, total %.1f s\n"
     flow.Flow.timings.Flow.optimisation_s flow.Flow.timings.Flow.mc_s
     flow.Flow.timings.Flow.total_s;
@@ -580,11 +590,73 @@ let flow_cmd =
              checkpoint fingerprint dry-run, netlist lint) that otherwise \
              aborts the run on error-severity findings")
   in
+  let prescreen_flag =
+    Arg.(
+      value & flag
+      & info [ "prescreen" ]
+          ~doc:
+            "corner-proof Monte Carlo pre-screen: push every analysed \
+             Pareto point's parameter box through the interval DC/AC model \
+             first — provably-fail points skip their MC batch (yield 0 with \
+             the enclosure as provenance), provably-pass points may run a \
+             reduced budget ($(b,--prescreen-budget)), undecided points run \
+             unchanged")
+  in
+  let prescreen_k =
+    Arg.(
+      value
+      & opt float Config.no_prescreen.Config.k_sigma
+      & info [ "prescreen-k" ] ~docv:"SIGMA"
+          ~doc:
+            "truncate the proof's parameter box at K sigmas; verdicts about \
+             unbounded Monte Carlo hold up to the normal mass outside the \
+             box (see DESIGN.md)")
+  in
+  let prescreen_min_gain =
+    Arg.(
+      value
+      & opt float Config.no_prescreen.Config.min_gain_db
+      & info [ "prescreen-min-gain" ] ~docv:"DB"
+          ~doc:"spec window floor on DC gain for the Y-code verdicts")
+  in
+  let prescreen_min_pm =
+    Arg.(
+      value
+      & opt float Config.no_prescreen.Config.min_pm_deg
+      & info [ "prescreen-min-pm" ] ~docv:"DEG"
+          ~doc:"spec window floor on phase margin for the Y-code verdicts")
+  in
+  let prescreen_budget =
+    Arg.(
+      value
+      & opt float Config.no_prescreen.Config.pass_budget_frac
+      & info [ "prescreen-budget" ] ~docv:"FRAC"
+          ~doc:
+            "fraction of the MC budget a provably-pass point still runs \
+             (in (0, 1]; 1 disables the shrink)")
+  in
+  let prescreen_term =
+    let build enabled k g pm b =
+      if not enabled then Config.prescreen_of_env ()
+      else
+        {
+          Config.enabled = true;
+          k_sigma = k;
+          min_gain_db = g;
+          min_pm_deg = pm;
+          pass_budget_frac = (if b > 0. && b <= 1. then b else 1.);
+        }
+    in
+    Term.(
+      const build $ prescreen_flag $ prescreen_k $ prescreen_min_gain
+      $ prescreen_min_pm $ prescreen_budget)
+  in
   obs_cmd
     (Cmd.info "flow" ~doc:"run the full model-generation flow (Figure 3)")
     Term.(
-      const (fun f t o c r n () -> flow f t o c r n)
-      $ fast $ topology $ out_dir $ checkpoint_dir $ resume $ no_preflight)
+      const (fun f t o c r n p () -> flow f t o c r n p)
+      $ fast $ topology $ out_dir $ checkpoint_dir $ resume $ no_preflight
+      $ prescreen_term)
 
 (* ---------- design ---------- *)
 
@@ -1196,14 +1268,99 @@ let lint_va_cmd =
       $ json_flag $ sarif_term $ baseline_term $ write_baseline_term
       $ dir $ gain_window $ pm_window $ files)
 
+let lint_corners json sarif baseline write_baseline k_sigma min_gain min_pm
+    files =
+  let window =
+    match (min_gain, min_pm) with
+    | None, None -> None
+    | g, p ->
+        Some
+          {
+            Corner_lint.min_gain_db = Option.value g ~default:0.;
+            min_pm_deg = Option.value p ~default:0.;
+          }
+  in
+  report_diags ?sarif ?baseline ~write_baseline ~json
+    (List.concat_map
+       (fun f -> Corner_lint.check_file ~k_sigma ?window f)
+       files)
+
+let lint_corners_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"netlist file(s) to analyse")
+  in
+  let k_sigma =
+    Arg.(
+      value & opt float 3.
+      & info [ "k-sigma" ] ~docv:"SIGMA"
+          ~doc:
+            "truncate every per-device statistical parameter box at K \
+             sigmas (global + Pelgrom mismatch); all proofs hold over this \
+             box")
+  in
+  let min_gain =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-gain" ] ~docv:"DB"
+          ~doc:"spec window floor on DC gain (default 0)")
+  in
+  let min_pm =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-pm" ] ~docv:"DEG"
+          ~doc:"spec window floor on phase margin (default 0)")
+  in
+  obs_cmd
+    (Cmd.info "corners"
+       ~doc:
+         "corner-aware abstract interpretation of netlists: interval DC/AC \
+          analysis over the whole statistical parameter box — per-device \
+          saturation proofs (D codes) and provably-fail / provably-pass / \
+          undecided spec verdicts with (gain, PM) enclosures as evidence \
+          (Y codes), against the first .ac card's sweep and probe")
+    Term.(
+      const (fun j s b w k g p fs () -> lint_corners j s b w k g p fs)
+      $ json_flag $ sarif_term $ baseline_term $ write_baseline_term
+      $ k_sigma $ min_gain $ min_pm $ files)
+
+let lint_codes json =
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            (List.map
+               (fun (c, d) -> (c, Json.String d))
+               Sarif.rule_descriptions)))
+  else
+    List.iter
+      (fun (c, d) -> Printf.printf "%s\t%s\n" c d)
+      Sarif.rule_descriptions;
+  0
+
+let lint_codes_cmd =
+  obs_cmd
+    (Cmd.info "codes"
+       ~doc:
+         "list every stable diagnostic code with its registry description \
+          (the same registry SARIF rule metadata is generated from); CI \
+          diffs this against the README code table")
+    Term.(const (fun j () -> lint_codes j) $ json_flag)
+
 let lint_cmd =
   Cmd.group
     (Cmd.info "lint"
        ~doc:
          "preflight static analysis: diagnostics with stable codes \
-          (N/T/C/F/A/R/V), text, JSON or SARIF output, baseline \
+          (N/T/C/F/A/R/V/D/Y), text, JSON or SARIF output, baseline \
           suppression, worst-severity exit code")
-    [ lint_netlist_cmd; lint_tbl_cmd; lint_config_cmd; lint_va_cmd ]
+    [
+      lint_netlist_cmd; lint_tbl_cmd; lint_config_cmd; lint_va_cmd;
+      lint_corners_cmd; lint_codes_cmd;
+    ]
 
 (* ---------- serve / loadgen ---------- *)
 

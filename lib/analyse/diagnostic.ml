@@ -9,6 +9,12 @@ type span = {
   end_col : int;
 }
 
+type related = {
+  rel_file : string option;
+  rel_span : span;
+  note : string;
+}
+
 type t = {
   code : string;
   severity : severity;
@@ -17,6 +23,7 @@ type t = {
   file : string option;
   line : int option;
   span : span option;
+  related : related list;
 }
 
 let span_of_ast (s : Yield_spice.Netlist_ast.span) =
@@ -27,14 +34,14 @@ let span_of_ast (s : Yield_spice.Netlist_ast.span) =
     end_col = s.end_col;
   }
 
-let make ?file ?line ?span ~code ~severity ~subject message =
+let make ?file ?line ?span ?(related = []) ~code ~severity ~subject message =
   let line =
     match (line, span) with
     | (Some _ as l), _ -> l
     | None, Some s -> Some s.start_line
     | None, None -> None
   in
-  { code; severity; subject; message; file; line; span }
+  { code; severity; subject; message; file; line; span; related }
 
 let severity_to_string = function
   | Info -> "info"
@@ -104,18 +111,33 @@ let span_to_json s =
       ("end_col", Json.Int s.end_col);
     ]
 
-let to_json d =
+let related_to_json r =
   Json.Obj
     [
-      ("code", Json.String d.code);
-      ("severity", Json.String (severity_to_string d.severity));
-      ("subject", Json.String d.subject);
-      ("message", Json.String d.message);
       ( "file",
-        match d.file with Some f -> Json.String f | None -> Json.Null );
-      ("line", match d.line with Some l -> Json.Int l | None -> Json.Null);
-      ("span", match d.span with Some s -> span_to_json s | None -> Json.Null);
+        match r.rel_file with Some f -> Json.String f | None -> Json.Null );
+      ("span", span_to_json r.rel_span);
+      ("note", Json.String r.note);
     ]
+
+let to_json d =
+  Json.Obj
+    ([
+       ("code", Json.String d.code);
+       ("severity", Json.String (severity_to_string d.severity));
+       ("subject", Json.String d.subject);
+       ("message", Json.String d.message);
+       ( "file",
+         match d.file with Some f -> Json.String f | None -> Json.Null );
+       ("line", match d.line with Some l -> Json.Int l | None -> Json.Null);
+       ("span", match d.span with Some s -> span_to_json s | None -> Json.Null);
+     ]
+    @
+    (* emitted only when present, so reports without secondary spans stay
+       byte-identical to version-2 output before the field existed *)
+    match d.related with
+    | [] -> []
+    | rs -> [ ("related", Json.List (List.map related_to_json rs)) ])
 
 let list_to_json diags =
   Json.Obj

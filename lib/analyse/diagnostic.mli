@@ -18,6 +18,16 @@ type span = {
 (** A source region: 1-based line and column, [end_col] one past the last
     character (the SARIF convention). *)
 
+type related = {
+  rel_file : string option;  (** defaults to the finding's own file *)
+  rel_span : span;
+  note : string;  (** what this span is, e.g. ["first definition"] *)
+}
+(** A secondary source location a finding refers to — the first definition a
+    duplicate shadows, the device whose operating region breaks a proof.
+    Rendered as SARIF [relatedLocations] and as the lint-JSON ["related"]
+    array (omitted when empty, so old reports are unchanged). *)
+
 type t = {
   code : string;  (** stable, e.g. ["N002"] *)
   severity : severity;
@@ -26,16 +36,18 @@ type t = {
   file : string option;  (** source file, when linting one *)
   line : int option;  (** 1-based, when known; [span]'s start line if set *)
   span : span option;  (** precise source region, when the pass knows one *)
+  related : related list;  (** secondary locations, possibly empty *)
 }
 
 val span_of_ast : Yield_spice.Netlist_ast.span -> span
 (** Convert a frontend span (same shape, different module). *)
 
 val make :
-  ?file:string -> ?line:int -> ?span:span -> code:string ->
-  severity:severity -> subject:string -> string -> t
+  ?file:string -> ?line:int -> ?span:span -> ?related:related list ->
+  code:string -> severity:severity -> subject:string -> string -> t
 (** When [span] is given and [line] is not, [line] defaults to the span's
-    start line, so line-oriented consumers keep working. *)
+    start line, so line-oriented consumers keep working.  [related] defaults
+    to empty. *)
 
 val severity_to_string : severity -> string
 (** ["error"], ["warning"], ["info"]. *)

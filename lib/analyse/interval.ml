@@ -76,7 +76,73 @@ let inv a =
   else if a.hi = 0. then out neg_infinity (1. /. a.lo)
   else whole
 
-let div a b = mul a (inv b)
+(* inf / inf arises when both operands are unbounded on matching sides; as
+   with [prod], collapsing the indeterminate quotient to 0 only ever widens
+   the hull (the other three corner quotients carry the unbounded sides) *)
+let quot x y =
+  let q = x /. y in
+  if Float.is_nan q then 0. else q
+
+(* Direct endpoint case analysis instead of [mul a (inv b)]: one outward
+   rounding instead of two, and a divisor that touches zero only at an
+   endpoint yields a half-line scaled by the finite endpoint directly
+   rather than through the rounded reciprocal. *)
+let div a b =
+  if b.lo > 0. || b.hi < 0. then
+    let q1 = quot a.lo b.lo and q2 = quot a.lo b.hi in
+    let q3 = quot a.hi b.lo and q4 = quot a.hi b.hi in
+    out
+      (Float.min (Float.min q1 q2) (Float.min q3 q4))
+      (Float.max (Float.max q1 q2) (Float.max q3 q4))
+  else if b.lo = 0. && b.hi = 0. then whole
+  else if b.lo = 0. then
+    (* b = [0, hi], hi > 0: magnitudes are bounded below by |a| / b.hi only *)
+    if a.lo >= 0. then { lo = down (a.lo /. b.hi); hi = infinity }
+    else if a.hi <= 0. then { lo = neg_infinity; hi = up (a.hi /. b.hi) }
+    else whole
+  else if b.hi = 0. then
+    (* b = [lo, 0], lo < 0: mirror image of the case above *)
+    if a.lo >= 0. then { lo = neg_infinity; hi = up (a.lo /. b.lo) }
+    else if a.hi <= 0. then { lo = down (a.hi /. b.lo); hi = infinity }
+    else whole
+  else whole
+
+(* n-ulp outward widening for library functions whose rounding error may
+   exceed the half-ulp of the basic operations *)
+let rec down_n k x = if k <= 0 then x else down_n (k - 1) (down x)
+
+let rec up_n k x = if k <= 0 then x else up_n (k - 1) (up x)
+
+let out_n k lo hi = { lo = down_n k lo; hi = up_n k hi }
+
+let pow_int a n =
+  if n = min_int then invalid_arg "Interval.pow_int: exponent out of range";
+  let rec go a n =
+    if n = 0 then point 1.
+    else if n < 0 then inv (go a (-n))
+    else
+      let f x = Float.pow x (float_of_int n) in
+      (* libm pow is not guaranteed correctly rounded; widen by 2 ulps *)
+      if n land 1 = 1 || a.lo >= 0. then out_n 2 (f a.lo) (f a.hi)
+      else if a.hi <= 0. then out_n 2 (f a.hi) (f a.lo)
+      else { lo = 0.; hi = up_n 2 (Float.max (f a.lo) (f a.hi)) }
+  in
+  go a n
+
+let monotone_incr ?(ulps = 4) f i =
+  let a = f i.lo and b = f i.hi in
+  if Float.is_nan a || Float.is_nan b then
+    invalid_arg "Interval.monotone_incr: map returned NaN";
+  (* min/max guards against rounding inverting a nearly-flat map *)
+  { lo = down_n ulps (Float.min a b); hi = up_n ulps (Float.max a b) }
+
+let widen ~ulps i = { lo = down_n ulps i.lo; hi = up_n ulps i.hi }
+
+let monotone_decr ?(ulps = 4) f i =
+  let a = f i.hi and b = f i.lo in
+  if Float.is_nan a || Float.is_nan b then
+    invalid_arg "Interval.monotone_decr: map returned NaN";
+  { lo = down_n ulps (Float.min a b); hi = up_n ulps (Float.max a b) }
 
 let scale k a = mul (point k) a
 

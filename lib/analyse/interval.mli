@@ -55,6 +55,29 @@ val inv : t -> t
 (** An interval spanning zero inverts to a half-line or {!whole}. *)
 
 val div : t -> t -> t
+(** Direct endpoint case analysis (single outward rounding).  A divisor that
+    touches zero only at an endpoint yields the tight half-line; a divisor
+    spanning zero in its interior yields {!whole}. *)
+
+val pow_int : t -> int -> t
+(** [pow_int a n] encloses [{x^n | x in a}]; even powers of a zero-spanning
+    interval bottom out at exactly [0.].  Negative [n] goes through {!inv}.
+    @raise Invalid_argument when [n] is [min_int]. *)
+
+val monotone_incr : ?ulps:int -> (float -> float) -> t -> t
+(** Push an interval through a monotone non-decreasing map by evaluating the
+    endpoints, widening the result by [ulps] (default 4) ulps per side to
+    cover the map's own rounding error.  Soundness is the caller's burden:
+    the map must really be monotone over the interval, and [ulps] must bound
+    its evaluation error.  @raise Invalid_argument when the map returns NaN. *)
+
+val monotone_decr : ?ulps:int -> (float -> float) -> t -> t
+(** {!monotone_incr} for monotone non-increasing maps. *)
+
+val widen : ulps:int -> t -> t
+(** Widen both bounds outward by [ulps] ulps — slack for values produced by
+    library code (e.g. [Complex.norm], [atan2]) whose rounding error exceeds
+    the half-ulp of the basic operations. *)
 
 val scale : float -> t -> t
 

@@ -178,6 +178,14 @@ let duplicate_devices ?file ast =
               Some
                 (diag ?file
                    ~span:(Diagnostic.span_of_ast name.Ast.ispan)
+                   ~related:
+                     [
+                       {
+                         Diagnostic.rel_file = None;
+                         rel_span = Diagnostic.span_of_ast first;
+                         note = "first definition";
+                       };
+                     ]
                    ~code:"N009" ~severity:Diagnostic.Error ~subject:name.Ast.id
                    (Printf.sprintf
                       "duplicate device name %s%s (first defined at %s)"

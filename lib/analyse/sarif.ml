@@ -56,6 +56,12 @@ let rule_descriptions =
     ("V006", "query window not provably inside the sampled table domain");
     ("V007", "use of an unassigned or undeclared identifier");
     ("V008", "variable declared but never read");
+    ("D001", "MOSFET provably in saturation across the variation box");
+    ("D002", "MOSFET not provably in saturation across the variation box");
+    ("D003", "no verified DC operating-point enclosure for the variation box");
+    ("Y001", "spec window provably missed across the variation box (yield 0)");
+    ("Y002", "spec window provably met across the truncated variation box");
+    ("Y003", "corner verdict undecided (enclosure straddles the spec window)");
   ]
 
 let level_of_severity = function
@@ -103,6 +109,49 @@ let location (d : Diagnostic.t) =
           Json.List [ Json.Obj [ ("physicalLocation", Json.Obj physical) ] ] );
       ]
 
+(* secondary spans (N009's first definition, a D-code's device card) become
+   SARIF relatedLocations so viewers can jump to both ends of the finding *)
+let related_locations (d : Diagnostic.t) =
+  match d.Diagnostic.related with
+  | [] -> []
+  | rs ->
+      let one (r : Diagnostic.related) =
+        let file =
+          match (r.Diagnostic.rel_file, d.Diagnostic.file) with
+          | Some f, _ -> Some f
+          | None, f -> f
+        in
+        match file with
+        | None -> None
+        | Some file ->
+            let s = r.Diagnostic.rel_span in
+            Some
+              (Json.Obj
+                 [
+                   ( "physicalLocation",
+                     Json.Obj
+                       [
+                         ( "artifactLocation",
+                           Json.Obj [ ("uri", Json.String file) ] );
+                         ( "region",
+                           Json.Obj
+                             [
+                               ("startLine", Json.Int s.Diagnostic.start_line);
+                               ("startColumn", Json.Int s.Diagnostic.start_col);
+                               ("endLine", Json.Int s.Diagnostic.end_line);
+                               ("endColumn", Json.Int s.Diagnostic.end_col);
+                             ] );
+                       ] );
+                   ( "message",
+                     Json.Obj [ ("text", Json.String r.Diagnostic.note) ] );
+                 ])
+      in
+      begin
+        match List.filter_map one rs with
+        | [] -> []
+        | locs -> [ ("relatedLocations", Json.List locs) ]
+      end
+
 let result ~suppressed (d : Diagnostic.t) =
   Json.Obj
     ([
@@ -120,6 +169,7 @@ let result ~suppressed (d : Diagnostic.t) =
          Json.Obj [ ("yieldlab/v1", Json.String (Baseline.fingerprint d)) ] );
      ]
     @ location d
+    @ related_locations d
     @
     if suppressed then
       [

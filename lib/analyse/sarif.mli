@@ -10,12 +10,20 @@
     [suppressions: [{"kind": "external"}]] as SARIF prescribes for
     baseline-suppressed results. *)
 
+val rule_descriptions : (string * string) list
+(** The rule registry: one [(code, one-line description)] pair per stable
+    code, in catalogue order.  This is the single source the SARIF [rules]
+    array and the generated README code table are built from
+    ([yieldlab lint codes]). *)
+
 val render :
   ?tool_version:string ->
   ?suppressed:Diagnostic.t list ->
   Diagnostic.t list ->
   Yield_obs.Json.t
-(** Severities map to SARIF levels [error]/[warning]/[note]. *)
+(** Severities map to SARIF levels [error]/[warning]/[note].  Findings with
+    {!Diagnostic.related} spans carry SARIF [relatedLocations] (secondary
+    spans default to the finding's own file). *)
 
 val save :
   ?tool_version:string ->

@@ -14,6 +14,23 @@ type telemetry = {
     ({!Yield_obs.Obs.ensure_telemetry}), so CLI flags applied earlier
     always win over env-derived values. *)
 
+type prescreen = {
+  enabled : bool;
+  k_sigma : float;
+      (** truncation of the parameter box handed to {!Corner_lint} — the
+          proofs hold over the ±k·sigma box, and [Provably_pass]/[_fail]
+          claims about unbounded Monte Carlo hold up to the normal mass
+          outside it (DESIGN.md §4a) *)
+  min_gain_db : float;  (** spec window the Y-code verdicts compare against *)
+  min_pm_deg : float;
+  pass_budget_frac : float;
+      (** fraction of [mc_samples] a [Provably_pass] point still runs
+          (1.0 = no shrink); clamped to (0, 1] *)
+}
+(** Opt-in corner-proof Monte Carlo pre-screen (see {!Corner_lint}):
+    [Provably_fail] points skip MC entirely, [Provably_pass] points may run
+    a reduced budget, [Undecided] points are untouched. *)
+
 type t = {
   conditions : Yield_circuits.Ota_testbench.conditions;
   variation : Yield_process.Variation.spec;
@@ -30,10 +47,14 @@ type t = {
           [1] takes the exact serial code path.  Results are
           jobs-independent, so [jobs] is excluded from {!fingerprint}. *)
   telemetry : telemetry;
+  prescreen : prescreen;
 }
 
 val no_telemetry : telemetry
 (** All knobs off — what {!paper_scale} and {!fast_scale} carry. *)
+
+val no_prescreen : prescreen
+(** Disabled; defaults [k_sigma = 3.], window [(0, 0)], budget fraction 1. *)
 
 val paper_scale : t
 (** The paper's §4 settings: population 100 x 100 generations (10,000
@@ -49,7 +70,14 @@ val of_env : unit -> t
     [YIELDLAB_FAST] is set to a non-empty value other than ["0"]; [jobs] is
     resolved through {!Yield_exec.Jobs.resolve} (CLI request >
     [YIELDLAB_JOBS] > recommended domain count); [telemetry] from
-    {!telemetry_of_env}. *)
+    {!telemetry_of_env}; [prescreen] from {!prescreen_of_env}. *)
+
+val prescreen_of_env : unit -> prescreen
+(** Enabled by [YIELDLAB_PRESCREEN] (non-empty, non-["0"]); then
+    [YIELDLAB_PRESCREEN_K], [YIELDLAB_PRESCREEN_MIN_GAIN],
+    [YIELDLAB_PRESCREEN_MIN_PM] and [YIELDLAB_PRESCREEN_PASS_BUDGET]
+    override the {!no_prescreen} defaults (non-numeric values are ignored;
+    the budget fraction must land in (0, 1]). *)
 
 val telemetry_of_env : unit -> telemetry
 (** [YIELDLAB_TRACE_STREAM] (path), [YIELDLAB_SPAN_SAMPLE] (spec) and

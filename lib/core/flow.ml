@@ -17,6 +17,7 @@ module Codec = Yield_resilience.Codec
 module Checkpoint = Yield_resilience.Checkpoint
 module Diagnostic = Yield_analyse.Diagnostic
 module Config_lint = Yield_analyse.Config_lint
+module Corner_lint = Yield_analyse.Corner_lint
 module Netlist_lint = Yield_analyse.Netlist_lint
 module Table_lint = Yield_analyse.Table_lint
 module Va_lint = Yield_analyse.Va_lint
@@ -36,6 +37,17 @@ let c_preflight_findings = Metrics.counter "preflight.findings"
 
 let c_preflight_errors = Metrics.counter "preflight.errors"
 
+(* the corner-proof Monte Carlo pre-screen (Config.prescreen) *)
+let c_ps_points = Metrics.counter "flow.prescreen.points"
+
+let c_ps_skipped = Metrics.counter "flow.prescreen.skipped"
+
+let c_ps_shrunk = Metrics.counter "flow.prescreen.shrunk"
+
+let c_ps_passed = Metrics.counter "flow.prescreen.passed"
+
+let c_ps_undecided = Metrics.counter "flow.prescreen.undecided"
+
 (* crash points for the checkpoint/resume tests: each fires just after the
    corresponding stage persisted its state, simulating a kill there *)
 let fp_wbga_gen = Fault.point "flow.wbga.generation"
@@ -50,6 +62,14 @@ type counts = {
 
 let total_sims c = c.optimisation_sims + c.front_sims + c.mc_sims
 
+type prescreen_counts = {
+  analysed : int;
+  fail_skipped : int;
+  pass_shrunk : int;
+  provably_passed : int;
+  undecided : int;
+}
+
 type timings = { optimisation_s : float; mc_s : float; total_s : float }
 
 type t = {
@@ -61,6 +81,7 @@ type t = {
   var_model : Var_model.t;
   macromodel : Macromodel.t;
   counts : counts;
+  prescreen : prescreen_counts option;
   timings : timings;
 }
 
@@ -299,6 +320,11 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
     let evaluations0 = Metrics.value c_wbga_evaluations in
     let front_sims0 = Metrics.value c_front_sims in
     let mc_attempted0 = Metrics.value c_mc_attempted in
+    let ps_points0 = Metrics.value c_ps_points in
+    let ps_skipped0 = Metrics.value c_ps_skipped in
+    let ps_shrunk0 = Metrics.value c_ps_shrunk in
+    let ps_passed0 = Metrics.value c_ps_passed in
+    let ps_undecided0 = Metrics.value c_ps_undecided in
     let optimisation_s = ref 0. in
     let mc_s = ref 0. in
     (* one pool serves every parallel stage of the run (WBGA evaluation,
@@ -430,13 +456,94 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
                   (s.next_i, ref (List.rev s.done_points))
               | None -> (0, ref [])
             in
+            let ps = config.Config.prescreen in
+            let enclosure_text (r : Corner_lint.report) =
+              let itv name = function
+                | None -> name ^ " unbounded"
+                | Some (iv : Yield_analyse.Interval.t) ->
+                    Printf.sprintf "%s [%.2f, %.2f]" name iv.lo iv.hi
+              in
+              itv "gain" r.Corner_lint.enclosure.Corner_lint.gain_db
+              ^ ", "
+              ^ itv "pm" r.Corner_lint.enclosure.Corner_lint.pm_deg
+            in
+            (* decide this point's Monte Carlo budget: the full
+               [mc_samples], a shrunk budget (provably inside the spec
+               window over the truncated box), or none at all (provably
+               outside).  Deterministic — no RNG — so a resumed run makes
+               the same decisions for the points it re-visits. *)
+            let prescreen_budget i (p : Perf_model.point) params =
+              if not ps.Config.enabled then Some config.Config.mc_samples
+              else begin
+                Metrics.incr c_ps_points;
+                let circuit, out = T.build ~conditions params in
+                let report =
+                  Corner_lint.analyse_circuit ~k_sigma:ps.Config.k_sigma
+                    ~spec:config.Config.variation
+                    ~window:
+                      {
+                        Corner_lint.min_gain_db = ps.Config.min_gain_db;
+                        min_pm_deg = ps.Config.min_pm_deg;
+                      }
+                    ~freqs:(Gtb.freqs_of conditions) ~out circuit
+                in
+                match report.Corner_lint.verdict with
+                | Corner_lint.Provably_fail ->
+                    Metrics.incr c_ps_skipped;
+                    log
+                      (Printf.sprintf
+                         "flow: prescreen front point %d (gain %.1f dB): \
+                          provably outside the spec window over the \
+                          %.2f-sigma box (%s) — yield 0, %d MC samples \
+                          skipped"
+                         i p.Perf_model.gain_db ps.Config.k_sigma
+                         (enclosure_text report) config.Config.mc_samples);
+                    None
+                | Corner_lint.Provably_pass ->
+                    Metrics.incr c_ps_passed;
+                    let budget =
+                      Stdlib.max Config_lint.min_valid_mc_samples
+                        (int_of_float
+                           (ceil
+                              (ps.Config.pass_budget_frac
+                              *. float_of_int config.Config.mc_samples)))
+                    in
+                    let budget = Stdlib.min budget config.Config.mc_samples in
+                    if budget < config.Config.mc_samples then begin
+                      Metrics.incr c_ps_shrunk;
+                      log
+                        (Printf.sprintf
+                           "flow: prescreen front point %d (gain %.1f dB): \
+                            provably inside the spec window (%s) — MC budget \
+                            %d -> %d"
+                           i p.Perf_model.gain_db (enclosure_text report)
+                           config.Config.mc_samples budget)
+                    end;
+                    Some budget
+                | Corner_lint.Undecided ->
+                    Metrics.incr c_ps_undecided;
+                    Some config.Config.mc_samples
+              end
+            in
             for i = start_i to Array.length front_points - 1 do
               if i mod stride = 0 then begin
                 let p = front_points.(i) in
                 let params = A.params_of_array p.Perf_model.params in
+                match prescreen_budget i p params with
+                | None -> begin
+                    (* provably outside spec: yield 0 with the enclosure as
+                       provenance (logged above); no variation point, no MC *)
+                    store_stage ckpt ~key:"mc.state" mc_state_to_json
+                      {
+                        next_i = i + 1;
+                        done_points = List.rev !var_points;
+                        mc_rng = Rng.save mc_rng;
+                      };
+                    Fault.raise_if fp_mc_point
+                  end
+                | Some samples ->
                 let outcome =
-                  Montecarlo.run_pool_counted ~pool
-                    ~samples:config.Config.mc_samples ~rng:mc_rng
+                  Montecarlo.run_pool_counted ~pool ~samples ~rng:mc_rng
                     (fun sample_rng ->
                       T.evaluate_sampled ~conditions
                         ~spec:config.Config.variation ~rng:sample_rng params)
@@ -488,6 +595,16 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
             Array.of_list (List.rev !var_points))
       in
       mc_s := var_mc_s;
+      if config.Config.prescreen.Config.enabled then
+        log
+          (Printf.sprintf
+             "flow: prescreen analysed %d front points: %d provably-fail (MC \
+              skipped), %d provably-pass (%d budget-shrunk), %d undecided"
+             (Metrics.value c_ps_points - ps_points0)
+             (Metrics.value c_ps_skipped - ps_skipped0)
+             (Metrics.value c_ps_passed - ps_passed0)
+             (Metrics.value c_ps_shrunk - ps_shrunk0)
+             (Metrics.value c_ps_undecided - ps_undecided0));
       log
         (Printf.sprintf "flow: variation model from %d points x %d MC samples"
            (Array.length var_points) config.Config.mc_samples);
@@ -534,6 +651,17 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
           front_sims = Metrics.value c_front_sims - front_sims0;
           mc_sims = Metrics.value c_mc_attempted - mc_attempted0;
         };
+      prescreen =
+        (if not config.Config.prescreen.Config.enabled then None
+         else
+           Some
+             {
+               analysed = Metrics.value c_ps_points - ps_points0;
+               fail_skipped = Metrics.value c_ps_skipped - ps_skipped0;
+               pass_shrunk = Metrics.value c_ps_shrunk - ps_shrunk0;
+               provably_passed = Metrics.value c_ps_passed - ps_passed0;
+               undecided = Metrics.value c_ps_undecided - ps_undecided0;
+             });
       timings =
         { optimisation_s = !optimisation_s; mc_s = !mc_s; total_s };
     }

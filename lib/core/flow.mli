@@ -15,6 +15,18 @@ type counts = {
 
 val total_sims : counts -> int
 
+type prescreen_counts = {
+  analysed : int;  (** front points the corner proof ran on *)
+  fail_skipped : int;
+      (** [Provably_fail] points — their whole MC batch was skipped *)
+  pass_shrunk : int;  (** [Provably_pass] points that ran a reduced budget *)
+  provably_passed : int;
+  undecided : int;  (** ran their full budget, unchanged *)
+}
+(** Accounting of the opt-in {!Config.prescreen} stage, derived from the
+    ["flow.prescreen.*"] counters ([points], [skipped], [shrunk], [passed],
+    [undecided]) over the run. *)
+
 type timings = {
   optimisation_s : float;
   mc_s : float;
@@ -35,6 +47,8 @@ type t = {
   var_model : Yield_behavioural.Var_model.t;
   macromodel : Yield_behavioural.Macromodel.t;
   counts : counts;
+  prescreen : prescreen_counts option;
+      (** [Some] iff [Config.prescreen.enabled] *)
   timings : timings;
 }
 
@@ -73,6 +87,17 @@ val run :
     {!Yield_analyse.Config_lint.min_valid_mc_samples} valid samples is
     skipped (logged, counted in ["flow.points.degraded"]) instead of
     crashing the flow or poisoning the variation model.
+
+    With [Config.prescreen.enabled], each analysed front point is first
+    pushed through the {!Yield_analyse.Corner_lint} corner proof before its
+    Monte Carlo batch: [Provably_fail] points skip MC entirely (yield 0,
+    the enclosure logged as provenance, no variation point),
+    [Provably_pass] points may run a budget shrunk to
+    [pass_budget_frac * mc_samples], and [Undecided] points run unchanged.
+    The decision is deterministic, and the prescreen settings join the
+    checkpoint fingerprint, so resumed runs repeat it bit-identically.
+    Accounting lands in {!prescreen_counts} / the ["flow.prescreen.*"]
+    counters.
 
     @raise Failure when the preflight finds error-severity problems, when
     the optimisation produces no usable front, or on a checkpoint

@@ -151,3 +151,45 @@ let perturb_circuit_with_draw spec draw rng circuit =
 
 let perturb_circuit spec rng circuit =
   perturb_circuit_with_draw spec (draw_global spec rng) rng circuit
+
+let perturb_circuit_gen spec z circuit =
+  let g = spec.global in
+  (* field-by-field lets pin the deviate order the interface documents *)
+  let zvn = z () in
+  let zvp = z () in
+  let zkn = z () in
+  let zkp = z () in
+  let zl = z () in
+  let draw =
+    {
+      dvth_n = zvn *. g.sigma_vth_n;
+      dvth_p = zvp *. g.sigma_vth_p;
+      dkp_rel_n = zkn *. g.sigma_kp_rel_n;
+      dkp_rel_p = zkp *. g.sigma_kp_rel_p;
+      dlambda_rel = zl *. g.sigma_lambda_rel;
+    }
+  in
+  Circuit.map_devices circuit (fun dev ->
+      match dev with
+      | Device.Mosfet m ->
+          let dvth_global, dkp_global =
+            match m.model.Mosfet.polarity with
+            | Mosfet.Nmos -> (draw.dvth_n, draw.dkp_rel_n)
+            | Mosfet.Pmos -> (draw.dvth_p, draw.dkp_rel_p)
+          in
+          let sigma_vth =
+            mismatch_sigma_vth spec m.model.Mosfet.polarity ~w:m.w ~l:m.l
+          in
+          let sigma_beta =
+            mismatch_sigma_beta spec m.model.Mosfet.polarity ~w:m.w ~l:m.l
+          in
+          let dvth = dvth_global +. (z () *. sigma_vth) in
+          let dkp_rel = dkp_global +. (z () *. sigma_beta) in
+          let model =
+            Mosfet.with_deltas m.model ~dvth ~dkp_rel
+              ~dlambda_rel:draw.dlambda_rel
+          in
+          Device.Mosfet { m with model }
+      | Device.Resistor _ | Device.Capacitor _ | Device.Vsource _
+      | Device.Isource _ | Device.Vccs _ ->
+          dev)

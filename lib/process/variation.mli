@@ -80,3 +80,12 @@ val perturb_circuit_with_draw :
   Yield_spice.Circuit.t
 (** Like {!perturb_circuit} but with an externally supplied global draw
     (stratified/LHS sampling); mismatch is still drawn from [rng]. *)
+
+val perturb_circuit_gen :
+  spec -> (unit -> float) -> Yield_spice.Circuit.t -> Yield_spice.Circuit.t
+(** Like {!perturb_circuit} but with every standard-normal deviate supplied
+    by the callback, consumed in a documented order: the five global
+    components (vth_n, vth_p, kp_n, kp_p, lambda), then, per MOSFET in
+    device order, a threshold and a beta mismatch deviate.  The hook for
+    truncated or quasi-random sampling — the corner-soundness property
+    tests draw deviates conditioned to the ±k·sigma box this way. *)

@@ -148,6 +148,77 @@ let test_flow_lint_models () =
       Alcotest.(check int) "corrupted perf table is an error" 2
         (Yield_analyse.Diagnostic.exit_code diags))
 
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let test_prescreen_fingerprint () =
+  (* a disabled prescreen must not disturb existing fingerprints (old
+     checkpoints stay resumable); an enabled one must join the identity *)
+  let base = Config.fingerprint smoke_config in
+  Alcotest.(check bool) "disabled prescreen absent from fingerprint" false
+    (contains ~needle:"prescreen" base);
+  let ps =
+    {
+      Config.enabled = true;
+      k_sigma = 0.5;
+      min_gain_db = 60.;
+      min_pm_deg = 0.;
+      pass_budget_frac = 1.;
+    }
+  in
+  let with_ps =
+    Config.fingerprint { smoke_config with Config.prescreen = ps }
+  in
+  Alcotest.(check bool) "enabled prescreen joins the fingerprint" true
+    (contains ~needle:"prescreen=k:0.5,g:60,pm:0,b:1" with_ps);
+  Alcotest.(check bool) "base is a prefix" true
+    (String.length with_ps >= String.length base
+    && String.sub with_ps 0 (String.length base) = base)
+
+let test_flow_prescreen () =
+  (* wide-spec prescreen: provably-fail points skip their MC batch, so the
+     run attempts strictly fewer samples than the unscreened reference and
+     drops exactly the skipped points from the variation model *)
+  let plain = Lazy.force flow in
+  Alcotest.(check bool) "prescreen accounting absent when disabled" true
+    (plain.Flow.prescreen = None);
+  let ps =
+    {
+      Config.enabled = true;
+      k_sigma = 0.5;
+      min_gain_db = 55.;
+      (* the smoke front's half-sigma gain enclosures top out between ~53.6
+         and ~59.8 dB: the low-gain end provably misses 55 dB even at the
+         best corner, the high-gain end does not *)
+      min_pm_deg = 0.;
+      pass_budget_frac = 1.;
+    }
+  in
+  let f = Flow.run { smoke_config with Config.prescreen = ps } in
+  match f.Flow.prescreen with
+  | None -> Alcotest.fail "prescreen accounting missing from an enabled run"
+  | Some pc ->
+      Alcotest.(check bool) "some points analysed" true (pc.Flow.analysed > 0);
+      Alcotest.(check int) "verdicts partition the analysed points"
+        pc.Flow.analysed
+        (pc.Flow.fail_skipped + pc.Flow.provably_passed + pc.Flow.undecided);
+      Alcotest.(check bool) "low-gain points are provably out" true
+        (pc.Flow.fail_skipped > 0);
+      Alcotest.(check bool) "high-gain points are not" true
+        (pc.Flow.fail_skipped < pc.Flow.analysed);
+      Alcotest.(check bool) "skipped points attempt no MC" true
+        (f.Flow.counts.Flow.mc_sims < plain.Flow.counts.Flow.mc_sims);
+      Alcotest.(check int) "skipped points leave the variation model"
+        (Array.length plain.Flow.var_points - pc.Flow.fail_skipped)
+        (Array.length f.Flow.var_points);
+      (* the perf model is untouched: prescreen gates only the MC stage *)
+      let pa = Perf_model.points plain.Flow.perf_model in
+      let pb = Perf_model.points f.Flow.perf_model in
+      Alcotest.(check int) "same front size" (Array.length pa)
+        (Array.length pb)
+
 let test_flow_deterministic () =
   let a = Flow.run smoke_config and b = Flow.run smoke_config in
   let pa = Perf_model.points a.Flow.perf_model in
@@ -261,7 +332,11 @@ let test_experiments_render () =
 let suites =
   [
     ( "core.config",
-      [ Alcotest.test_case "scale names" `Quick test_config_env ] );
+      [
+        Alcotest.test_case "scale names" `Quick test_config_env;
+        Alcotest.test_case "prescreen fingerprint" `Quick
+          test_prescreen_fingerprint;
+      ] );
     ( "core.flow",
       [
         Alcotest.test_case "counts" `Slow test_flow_counts;
@@ -273,6 +348,7 @@ let suites =
         Alcotest.test_case "lint saved tables" `Slow test_flow_lint_models;
         Alcotest.test_case "deterministic" `Slow test_flow_deterministic;
         Alcotest.test_case "functor on miller" `Slow test_flow_functor_miller;
+        Alcotest.test_case "prescreen" `Slow test_flow_prescreen;
       ] );
     ( "core.baseline",
       [ Alcotest.test_case "runs and counts" `Slow test_baseline_runs ] );

@@ -21,5 +21,6 @@ let () =
          T_exec.suites;
          T_analyse.suites;
          T_analyse2.suites;
+         T_corner.suites;
          T_serve.suites;
        ])
