@@ -499,12 +499,14 @@ let optimize_cmd =
 
 (* ---------- flow ---------- *)
 
-let flow fast topology out_dir checkpoint_dir resume no_preflight prescreen =
+let flow fast topology out_dir checkpoint_dir resume no_preflight prescreen
+    solver =
   let config = if fast then Config.fast_scale else Config.paper_scale in
   let config =
     {
       config with
       Config.jobs = Yield_exec.Jobs.resolve ();
+      solver;
       telemetry = Config.telemetry_of_env ();
       prescreen;
     }
@@ -651,12 +653,25 @@ let flow_cmd =
       const build $ prescreen_flag $ prescreen_k $ prescreen_min_gain
       $ prescreen_min_pm $ prescreen_budget)
   in
+  let solver =
+    Arg.(
+      value
+      & opt string (Config.solver_of_env ())
+      & info [ "solver" ] ~docv:"NAME"
+          ~doc:
+            "linear-solver backend for the Monte Carlo inner loop: \
+             $(b,dense) (the default; bit-identical to historical runs) or \
+             $(b,csr) (sparse LU with a cached symbolic factorisation per \
+             topology).  Defaults to \\$YIELDLAB_SOLVER when set.  The \
+             optimisation and nominal-front stages always run dense, so \
+             perf_model.tbl is solver-independent")
+  in
   obs_cmd
     (Cmd.info "flow" ~doc:"run the full model-generation flow (Figure 3)")
     Term.(
-      const (fun f t o c r n p () -> flow f t o c r n p)
+      const (fun f t o c r n p s () -> flow f t o c r n p s)
       $ fast $ topology $ out_dir $ checkpoint_dir $ resume $ no_preflight
-      $ prescreen_term)
+      $ prescreen_term $ solver)
 
 (* ---------- design ---------- *)
 
@@ -1142,7 +1157,12 @@ let lint_tbl_cmd =
 
 let lint_config json sarif baseline write_baseline fast checkpoint_dir resume
     fault_spec_check =
-  let config = if fast then Config.fast_scale else Config.paper_scale in
+  let config =
+    {
+      (if fast then Config.fast_scale else Config.paper_scale) with
+      Config.solver = Config.solver_of_env ();
+    }
+  in
   let view =
     {
       Config_lint.population = config.Config.ga.Ga.population_size;
@@ -1152,6 +1172,9 @@ let lint_config json sarif baseline write_baseline fast checkpoint_dir resume
       control = config.Config.control;
       seed = config.Config.seed;
       jobs = Yield_exec.Jobs.resolve ();
+      solver = config.Config.solver;
+      (* no testbench is built here, so the csr size heuristic stays mute *)
+      system_size = None;
       fingerprint = Config.fingerprint config;
     }
   in

@@ -1,4 +1,6 @@
 module Circuit = Yield_spice.Circuit
+module Mna = Yield_spice.Mna
+module Linsys = Yield_numeric.Linsys
 module Dcop = Yield_spice.Dcop
 module Ac = Yield_spice.Ac
 module Measure = Yield_spice.Measure
@@ -128,6 +130,61 @@ module Make (A : Amplifier.S) = struct
     match bode_of_circuit ~conditions perturbed with
     | None -> None
     | Some b -> perf_of_bode conditions b
+
+  (* ---------- batch-first sessions ----------
+
+     All open-loop testbenches of one amplifier share a single topology
+     (same nodes, same device order) whatever the params or conditions, so
+     the structural pattern + symbolic factorisation is compiled once per
+     backend and cached for the lifetime of the functor instantiation.
+     Compiled sessions are immutable, so sharing across domains is safe;
+     the cache itself is a CAS list (a lost race costs one extra compile). *)
+
+  type session = {
+    s_conditions : conditions;
+    s_circuit : Circuit.t;
+    s_sys : Mna.sys;
+  }
+
+  let sys_cache : (Linsys.backend * Mna.sys) list Atomic.t = Atomic.make []
+
+  let cached_sys backend circuit =
+    match List.assoc_opt backend (Atomic.get sys_cache) with
+    | Some s -> s
+    | None ->
+        let s = Mna.sys ~backend circuit in
+        let rec publish () =
+          let cur = Atomic.get sys_cache in
+          match List.assoc_opt backend cur with
+          | Some existing -> existing
+          | None ->
+              if Atomic.compare_and_set sys_cache cur ((backend, s) :: cur)
+              then s
+              else publish ()
+        in
+        publish ()
+
+  let session ?(conditions = default_conditions) ?(solver = Linsys.Dense)
+      params =
+    let circuit, _ = build ~conditions params in
+    { s_conditions = conditions; s_circuit = circuit; s_sys = cached_sys solver circuit }
+
+  let session_circuit s = s.s_circuit
+
+  let session_sys s = s.s_sys
+
+  let session_solver_name s = Mna.sys_solver_name s.s_sys
+
+  let evaluate_in_session s ~spec ~rng =
+    let models = Variation.overrides spec rng s.s_circuit in
+    match Dcop.solve_with_retry ~sys:s.s_sys ~models s.s_circuit with
+    | Error _ -> None
+    | Ok op ->
+        let b =
+          Ac.transfer_by_name ~sys:s.s_sys s.s_circuit op ~out:"out"
+            ~freqs:(freqs_of s.s_conditions)
+        in
+        perf_of_bode s.s_conditions b
 
   let evaluate_with_draw ?(conditions = default_conditions) ~spec ~draw params =
     let circuit, _ = build ~conditions params in

@@ -75,7 +75,38 @@ module Make (A : Amplifier.S) : sig
     ?conditions:conditions -> spec:Yield_process.Variation.spec ->
     rng:Yield_stats.Rng.t -> A.params -> perf option
   (** One Monte Carlo draw of process variation and mismatch applied to
-      every transistor. *)
+      every transistor.  Rebuilds the testbench per call; the batch-first
+      Monte Carlo loop uses {!session} + {!evaluate_in_session} instead,
+      which is bit-identical under the default dense solver. *)
+
+  type session
+  (** One testbench instantiation pinned to a front point: the built
+      circuit plus a compiled {!Yield_spice.Mna.sys} solver session.  The
+      structural pattern / symbolic factorisation is compiled once per
+      solver backend and cached for the functor's lifetime (every variant
+      of one amplifier shares a topology); sessions are immutable and safe
+      to share across domains. *)
+
+  val session :
+    ?conditions:conditions -> ?solver:Yield_numeric.Linsys.backend ->
+    A.params -> session
+  (** Build the open-loop testbench once for these parameters.  [solver]
+      defaults to [Dense]. *)
+
+  val session_circuit : session -> Yield_spice.Circuit.t
+
+  val session_sys : session -> Yield_spice.Mna.sys
+
+  val session_solver_name : session -> string
+
+  val evaluate_in_session :
+    session -> spec:Yield_process.Variation.spec ->
+    rng:Yield_stats.Rng.t -> perf option
+  (** One Monte Carlo sample through the session: draws
+      {!Yield_process.Variation.overrides} and patches device models
+      per-sample instead of rebuilding the circuit.  Consumes the same
+      random deviates as {!evaluate_sampled} and, under the dense solver,
+      returns bit-identical results. *)
 
   val evaluate_with_draw :
     ?conditions:conditions -> spec:Yield_process.Variation.spec ->

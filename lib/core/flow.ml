@@ -1,5 +1,7 @@
 module Ota = Yield_circuits.Ota
 module Gtb = Yield_circuits.Testbench
+module Mna = Yield_spice.Mna
+module Linsys = Yield_numeric.Linsys
 module Wbga = Yield_ga.Wbga
 module Rng = Yield_stats.Rng
 module Montecarlo = Yield_process.Montecarlo
@@ -249,6 +251,9 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
      testbench at its default sizing *)
   let preflight_check ?checkpoint_dir ~resume ~log (config : Config.t) =
     Span.with_ ~name:"flow.preflight" (fun () ->
+        let circuit, _out =
+          T.build ~conditions:config.Config.conditions A.default_params
+        in
         let view =
           {
             Config_lint.population =
@@ -259,13 +264,12 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
             control = config.Config.control;
             seed = config.Config.seed;
             jobs = config.Config.jobs;
+            solver = config.Config.solver;
+            system_size = Some (Mna.size (Mna.layout circuit));
             fingerprint = Config.fingerprint config;
           }
         in
         let config_diags = Config_lint.check ?checkpoint_dir ~resume view in
-        let circuit, _out =
-          T.build ~conditions:config.Config.conditions A.default_params
-        in
         let netlist_diags =
           Netlist_lint.check
             ~tech:config.Config.conditions.Gtb.tech
@@ -299,6 +303,14 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
       ?snapshot_every_s:config.Config.telemetry.Config.snapshot_every_s ();
     if preflight then preflight_check ?checkpoint_dir ~resume ~log config;
     let conditions = config.Config.conditions in
+    (* the Monte Carlo inner loop's numeric backend; an unknown name is a
+       preflight error (C007), so past that gate this can only fall back
+       when the caller disabled preflight — then dense, the safe default *)
+    let solver_backend =
+      Option.value
+        (Linsys.backend_of_string config.Config.solver)
+        ~default:Linsys.Dense
+    in
     let ckpt =
       match checkpoint_dir with
       | None -> None
@@ -542,11 +554,19 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
                     Fault.raise_if fp_mc_point
                   end
                 | Some samples ->
+                (* batch-first: one testbench instantiation per front point;
+                   each sample only patches device models (bit-identical to
+                   rebuilding under the dense default).  The compiled
+                   session is immutable, so sharing it across the pool's
+                   domains is safe. *)
+                let session =
+                  T.session ~conditions ~solver:solver_backend params
+                in
                 let outcome =
                   Montecarlo.run_pool_counted ~pool ~samples ~rng:mc_rng
                     (fun sample_rng ->
-                      T.evaluate_sampled ~conditions
-                        ~spec:config.Config.variation ~rng:sample_rng params)
+                      T.evaluate_in_session session
+                        ~spec:config.Config.variation ~rng:sample_rng)
                 in
                 let results = outcome.Montecarlo.results in
                 if Array.length results >= Config_lint.min_valid_mc_samples
@@ -672,14 +692,20 @@ module Make (A : Yield_circuits.Amplifier.S) = struct
     | None -> Error "verify_design: nominal evaluation failed"
     | Some nominal ->
         let rng = Rng.create seed in
+        let solver_backend =
+          Option.value
+            (Linsys.backend_of_string t.config.Config.solver)
+            ~default:Linsys.Dense
+        in
+        let session = T.session ~conditions ~solver:solver_backend params in
         let outcome =
           (* a transient pool: verification runs outside Flow.run, so the
              run's own pool is already shut down *)
           Pool.with_pool ~jobs:t.config.Config.jobs (fun pool ->
               Montecarlo.run_pool_counted ~pool ~samples ~rng
                 (fun sample_rng ->
-                  T.evaluate_sampled ~conditions
-                    ~spec:t.config.Config.variation ~rng:sample_rng params))
+                  T.evaluate_in_session session
+                    ~spec:t.config.Config.variation ~rng:sample_rng))
         in
         let results = outcome.Montecarlo.results in
         if Array.length results = 0 then

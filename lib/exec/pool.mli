@@ -4,8 +4,8 @@
     population through it, the Pareto-front re-simulation fans its nominal
     evaluations out over it, and every Monte Carlo batch chunks its samples
     across the same worker domains.  Spawning the workers once (instead of
-    per batch, as the old [Montecarlo.run_parallel] did) amortises the
-    domain start-up cost over the 100+ batches of a run.
+    a throwaway pool per batch) amortises the domain start-up cost over the
+    100+ batches of a run.
 
     {2 Determinism contract}
 

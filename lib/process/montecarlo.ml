@@ -66,20 +66,6 @@ let run_pool_counted ~pool ~samples ~rng f =
 
 let run_pool ~pool ~samples ~rng f = (run_pool_counted ~pool ~samples ~rng f).results
 
-(* Deprecated shims: a throwaway pool per batch reproduces the old
-   spawn-per-batch behaviour on top of the shared implementation, so the
-   shim and pool paths cannot drift apart. *)
-let run_parallel_counted ?domains ~samples ~rng f =
-  let jobs =
-    match domains with
-    | Some d -> Stdlib.max 1 d
-    | None -> Yield_exec.Jobs.resolve ()
-  in
-  Pool.with_pool ~jobs (fun pool -> run_pool_counted ~pool ~samples ~rng f)
-
-let run_parallel ?domains ~samples ~rng f =
-  (run_parallel_counted ?domains ~samples ~rng f).results
-
 type yield_estimate = {
   pass : int;
   total : int;

@@ -33,17 +33,6 @@ val run_pool_counted :
     code path) when the pool has one participant or [samples <= 1].  [f]
     must not share mutable state across calls. *)
 
-val run_parallel_counted :
-  ?domains:int -> samples:int -> rng:Yield_stats.Rng.t ->
-  (Yield_stats.Rng.t -> 'a option) -> 'a counted
-[@@deprecated
-  "spawns a throwaway pool per batch; use run_pool_counted with a shared \
-   Yield_exec.Pool"]
-(** Deprecated shim over {!run_pool_counted}: spawns a throwaway
-    {!Yield_exec.Pool} per batch (default jobs: {!Yield_exec.Jobs.resolve}),
-    so every batch pays the domain start-up cost the shared pool amortises.
-    Results are byte-identical to the pool path with the same [rng]. *)
-
 val run :
   samples:int -> rng:Yield_stats.Rng.t -> (Yield_stats.Rng.t -> 'a option) ->
   'a array
@@ -55,15 +44,6 @@ val run_pool :
   pool:Yield_exec.Pool.t -> samples:int -> rng:Yield_stats.Rng.t ->
   (Yield_stats.Rng.t -> 'a option) -> 'a array
 (** [run_pool_counted] keeping only the successful results. *)
-
-val run_parallel :
-  ?domains:int -> samples:int -> rng:Yield_stats.Rng.t ->
-  (Yield_stats.Rng.t -> 'a option) -> 'a array
-[@@deprecated
-  "spawns a throwaway pool per batch; use run_pool with a shared \
-   Yield_exec.Pool"]
-(** Deprecated shim: [run_parallel_counted] keeping only the successful
-    results. *)
 
 type yield_estimate = {
   pass : int;

@@ -152,7 +152,32 @@ let perturb_circuit_with_draw spec draw rng circuit =
 let perturb_circuit spec rng circuit =
   perturb_circuit_with_draw spec (draw_global spec rng) rng circuit
 
-let perturb_circuit_gen spec z circuit =
+(* ---------- batch-first per-sample overrides ----------
+
+   [Circuit.map_devices] applies its function through [List.rev_map] over
+   the reversed device list, i.e. in REVERSE device-array order (index
+   n-1 down to 0).  The overrides builders below must consume mismatch
+   deviates in exactly that order so that the per-sample patching path is
+   bit-identical to the historical full-rebuild path. *)
+
+let overrides_with_draw spec draw rng circuit =
+  let devices = Circuit.devices circuit in
+  let n = Array.length devices in
+  let out : Yield_spice.Mna.models = Array.make n None in
+  for di = n - 1 downto 0 do
+    match devices.(di) with
+    | Device.Mosfet m ->
+        out.(di) <- Some (perturb_model spec draw rng ~w:m.w ~l:m.l m.model)
+    | Device.Resistor _ | Device.Capacitor _ | Device.Vsource _
+    | Device.Isource _ | Device.Vccs _ ->
+        ()
+  done;
+  out
+
+let overrides spec rng circuit =
+  overrides_with_draw spec (draw_global spec rng) rng circuit
+
+let overrides_gen spec z circuit =
   let g = spec.global in
   (* field-by-field lets pin the deviate order the interface documents *)
   let zvn = z () in
@@ -169,27 +194,47 @@ let perturb_circuit_gen spec z circuit =
       dlambda_rel = zl *. g.sigma_lambda_rel;
     }
   in
+  let devices = Circuit.devices circuit in
+  let n = Array.length devices in
+  let out : Yield_spice.Mna.models = Array.make n None in
+  for di = n - 1 downto 0 do
+    match devices.(di) with
+    | Device.Mosfet m ->
+        let dvth_global, dkp_global =
+          match m.model.Mosfet.polarity with
+          | Mosfet.Nmos -> (draw.dvth_n, draw.dkp_rel_n)
+          | Mosfet.Pmos -> (draw.dvth_p, draw.dkp_rel_p)
+        in
+        let sigma_vth =
+          mismatch_sigma_vth spec m.model.Mosfet.polarity ~w:m.w ~l:m.l
+        in
+        let sigma_beta =
+          mismatch_sigma_beta spec m.model.Mosfet.polarity ~w:m.w ~l:m.l
+        in
+        let dvth = dvth_global +. (z () *. sigma_vth) in
+        let dkp_rel = dkp_global +. (z () *. sigma_beta) in
+        out.(di) <-
+          Some
+            (Mosfet.with_deltas m.model ~dvth ~dkp_rel
+               ~dlambda_rel:draw.dlambda_rel)
+    | Device.Resistor _ | Device.Capacitor _ | Device.Vsource _
+    | Device.Isource _ | Device.Vccs _ ->
+        ()
+  done;
+  out
+
+let apply_overrides circuit (models : Yield_spice.Mna.models) =
+  let n = Array.length (Circuit.devices circuit) in
+  (* map_devices visits devices in reverse array order; walk the index
+     alongside it *)
+  let di = ref n in
   Circuit.map_devices circuit (fun dev ->
+      decr di;
       match dev with
-      | Device.Mosfet m ->
-          let dvth_global, dkp_global =
-            match m.model.Mosfet.polarity with
-            | Mosfet.Nmos -> (draw.dvth_n, draw.dkp_rel_n)
-            | Mosfet.Pmos -> (draw.dvth_p, draw.dkp_rel_p)
-          in
-          let sigma_vth =
-            mismatch_sigma_vth spec m.model.Mosfet.polarity ~w:m.w ~l:m.l
-          in
-          let sigma_beta =
-            mismatch_sigma_beta spec m.model.Mosfet.polarity ~w:m.w ~l:m.l
-          in
-          let dvth = dvth_global +. (z () *. sigma_vth) in
-          let dkp_rel = dkp_global +. (z () *. sigma_beta) in
-          let model =
-            Mosfet.with_deltas m.model ~dvth ~dkp_rel
-              ~dlambda_rel:draw.dlambda_rel
-          in
-          Device.Mosfet { m with model }
+      | Device.Mosfet m -> (
+          match models.(!di) with
+          | Some model -> Device.Mosfet { m with model }
+          | None -> dev)
       | Device.Resistor _ | Device.Capacitor _ | Device.Vsource _
       | Device.Isource _ | Device.Vccs _ ->
           dev)

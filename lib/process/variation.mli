@@ -81,11 +81,42 @@ val perturb_circuit_with_draw :
 (** Like {!perturb_circuit} but with an externally supplied global draw
     (stratified/LHS sampling); mismatch is still drawn from [rng]. *)
 
-val perturb_circuit_gen :
-  spec -> (unit -> float) -> Yield_spice.Circuit.t -> Yield_spice.Circuit.t
-(** Like {!perturb_circuit} but with every standard-normal deviate supplied
-    by the callback, consumed in a documented order: the five global
-    components (vth_n, vth_p, kp_n, kp_p, lambda), then, per MOSFET in
-    device order, a threshold and a beta mismatch deviate.  The hook for
-    truncated or quasi-random sampling — the corner-soundness property
-    tests draw deviates conditioned to the ±k·sigma box this way. *)
+(** {1 Batch-first per-sample overrides}
+
+    The Monte Carlo inner loop instantiates a circuit once per front point
+    and patches device models per sample ({!Yield_spice.Mna.models})
+    instead of rebuilding the circuit.  The builders below consume random
+    deviates in exactly the order the historical rebuild path
+    ({!perturb_circuit} through [Circuit.map_devices]) did — reverse
+    device-array order — so patching is bit-identical to rebuilding
+    (test-pinned). *)
+
+val overrides :
+  spec -> Yield_stats.Rng.t -> Yield_spice.Circuit.t -> Yield_spice.Mna.models
+(** One Monte Carlo sample as a per-device model override array: draws a
+    global sample, then an independent mismatch for every MOSFET.  Consumes
+    the same deviates as {!perturb_circuit}; feeding the result to
+    {!apply_overrides} reproduces its output exactly. *)
+
+val overrides_with_draw :
+  spec -> global_draw -> Yield_stats.Rng.t -> Yield_spice.Circuit.t ->
+  Yield_spice.Mna.models
+(** Like {!overrides} but with an externally supplied global draw
+    (stratified/LHS sampling); mismatch is still drawn from [rng]. *)
+
+val overrides_gen :
+  spec -> (unit -> float) -> Yield_spice.Circuit.t -> Yield_spice.Mna.models
+(** Like {!overrides} but with every standard-normal deviate supplied by
+    the callback: the five global components (vth_n, vth_p, kp_n, kp_p,
+    lambda) first, then a threshold and a beta mismatch deviate per MOSFET
+    in the order {!perturb_circuit} visits devices (reverse device-array
+    order).  The hook for truncated or quasi-random sampling — the
+    corner-soundness property tests draw deviates conditioned to the
+    ±k·sigma box this way.  (Replaces the retired [perturb_circuit_gen];
+    compose with {!apply_overrides} for a full circuit.) *)
+
+val apply_overrides :
+  Yield_spice.Circuit.t -> Yield_spice.Mna.models -> Yield_spice.Circuit.t
+(** Bake an override array into a fresh circuit (the input is unchanged).
+    [apply_overrides c (overrides spec rng c)] is bit-identical to
+    [perturb_circuit spec rng c] at equal RNG state. *)

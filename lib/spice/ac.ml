@@ -1,4 +1,5 @@
 module Cmat = Yield_numeric.Cmat
+module Linsys = Yield_numeric.Linsys
 module Fault = Yield_resilience.Fault
 
 type bode = { freqs : float array; response : Complex.t array }
@@ -30,22 +31,35 @@ let solve_pieces (g, c, rhs) ~freq =
 
 let solve_at circuit op ~freq = solve_pieces (system circuit op) ~freq
 
-let transfer circuit op ~out ~freqs =
+let transfer ?sys circuit op ~out ~freqs =
   if Fault.fire fp_solve then
     { freqs; response = Array.map (fun _ -> Complex.{ re = nan; im = nan }) freqs }
-  else
-    let pieces = system circuit op in
+  else begin
+    precheck circuit;
+    (* one code path for both solvers: without a session, a pattern-less
+       dense workspace reproduces the historical of_real+solve sequence *)
+    let s =
+      match sys with
+      | Some s -> s
+      | None -> Mna.dense_sys_of_layout op.Dcop.layout
+    in
+    let cs = Mna.sys_complex s in
+    let ops name = Dcop.mos_op op name in
+    let rhs = Mna.assemble_ac_into cs circuit (Mna.sys_layout s) ~ops in
     let response =
       Array.map
         (fun freq ->
-          let x = solve_pieces pieces ~freq in
+          let omega = 2. *. Float.pi *. freq in
+          let solve = cs.Linsys.factor ~omega in
+          let x = solve rhs in
           if out = Device.ground then Complex.zero else x.(out - 1))
         freqs
     in
     { freqs; response }
+  end
 
-let transfer_by_name circuit op ~out ~freqs =
-  transfer circuit op ~out:(Circuit.node circuit out) ~freqs
+let transfer_by_name ?sys circuit op ~out ~freqs =
+  transfer ?sys circuit op ~out:(Circuit.node circuit out) ~freqs
 
 let default_freqs ?(per_decade = 10) ~f_lo ~f_hi () =
   if f_lo <= 0. || f_hi <= f_lo then invalid_arg "Ac.default_freqs: bad range";

@@ -14,12 +14,18 @@ exception Singular of string
 val solve_at : Circuit.t -> Dcop.t -> freq:float -> Complex.t array
 (** Full small-signal solution vector at one frequency. *)
 
-val transfer : Circuit.t -> Dcop.t -> out:Device.node -> freqs:float array -> bode
+val transfer :
+  ?sys:Mna.sys -> Circuit.t -> Dcop.t -> out:Device.node ->
+  freqs:float array -> bode
 (** Response observed at node [out] for each frequency, driven by the AC
-    magnitudes declared on the circuit's independent sources. *)
+    magnitudes declared on the circuit's independent sources.  [sys] reuses
+    a pre-compiled {!Mna.sys} solver session (cached sparsity pattern /
+    symbolic factorisation); without it a pattern-less dense session
+    reproduces the historical path byte-for-byte. *)
 
 val transfer_by_name :
-  Circuit.t -> Dcop.t -> out:string -> freqs:float array -> bode
+  ?sys:Mna.sys -> Circuit.t -> Dcop.t -> out:string -> freqs:float array ->
+  bode
 
 val default_freqs : ?per_decade:int -> f_lo:float -> f_hi:float -> unit -> float array
 (** Logarithmically spaced grid, default 10 points per decade. *)

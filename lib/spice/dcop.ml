@@ -1,5 +1,6 @@
 module Vec = Yield_numeric.Vec
 module Lu = Yield_numeric.Lu
+module Linsys = Yield_numeric.Linsys
 module Metrics = Yield_obs.Metrics
 module Fault = Yield_resilience.Fault
 module Retry = Yield_resilience.Retry
@@ -51,18 +52,21 @@ let error_to_string = function
   | Singular_system what -> "dcop: singular system in " ^ what
 
 (* One damped-Newton run at fixed gmin and source scaling.  Returns the
-   solution and iteration count, or None on failure. *)
-let newton circuit layout options ~source_scale ~gmin ~x0 =
+   solution and iteration count, or None on failure.  [rs] is the solver
+   workspace reused across iterations (a dense workspace reproduces the
+   historical fresh-matrix-per-iteration path byte-for-byte). *)
+let newton rs ?models circuit layout options ~source_scale ~gmin ~x0 =
   let n = Mna.size layout in
   let x = Array.copy x0 in
   let rec iterate i =
     if i >= options.max_iterations then None
     else begin
-      let g, rhs = Mna.assemble_dc circuit layout ~x ~source_scale ~gmin in
-      match Lu.factor g with
+      let rhs =
+        Mna.assemble_dc_into rs ?models circuit layout ~x ~source_scale ~gmin
+      in
+      match rs.Linsys.solve rhs with
       | exception Lu.Singular _ -> None
-      | f ->
-          let x_new = Lu.solve f rhs in
+      | x_new ->
           let delta = ref 0. in
           for k = 0 to n - 1 do
             let dk = x_new.(k) -. x.(k) in
@@ -93,7 +97,7 @@ let initial_guess circuit layout =
     (Circuit.nodesets circuit);
   x
 
-let solve ?(options = default_options) ?x0_jitter circuit =
+let solve ?(options = default_options) ?x0_jitter ?sys ?models circuit =
   match Topology.dc_issues circuit with
   | issue :: _ ->
       (* structurally singular: no gmin or homotopy can make the answer
@@ -101,7 +105,17 @@ let solve ?(options = default_options) ?x0_jitter circuit =
       Metrics.incr c_convergence_failures;
       Error (Singular_system (Topology.issue_to_string issue))
   | [] ->
-  let layout = Mna.layout circuit in
+  let layout =
+    match sys with Some s -> Mna.sys_layout s | None -> Mna.layout circuit
+  in
+  (* per-call numeric workspace: the compiled session (if any) is shared
+     across domains, the mutable assembly/factor state is not *)
+  let rs =
+    match sys with
+    | Some s -> Mna.sys_real s
+    | None -> Linsys.real (Linsys.dense_of_size (Mna.size layout))
+  in
+  let newton = newton rs ?models in
   let x0 = initial_guess circuit layout in
   (match x0_jitter with
   | None -> ()
@@ -111,7 +125,13 @@ let solve ?(options = default_options) ?x0_jitter circuit =
   let finish (x, iterations) =
     Metrics.observe h_newton_iterations (float_of_int iterations);
     Metrics.observe h_recovery_attempts (float_of_int (List.length !attempts));
-    Ok { x; layout; mos_ops = Mna.mos_operating_points circuit ~x; iterations }
+    Ok
+      {
+        x;
+        layout;
+        mos_ops = Mna.mos_operating_points ?models circuit ~x;
+        iterations;
+      }
   in
   let no_convergence () =
     Metrics.incr c_convergence_failures;
@@ -190,7 +210,7 @@ let classify_error = function
 
 let retry_policy = Retry.policy "dcop.solve"
 
-let solve_with_retry ?options ?budget_s circuit =
+let solve_with_retry ?options ?budget_s ?sys ?models circuit =
   let deadline_s =
     Option.map (fun b -> Yield_obs.Clock.now_s () +. b) budget_s
   in
@@ -206,7 +226,7 @@ let solve_with_retry ?options ?budget_s circuit =
           Some (fun _k -> Rng.normal rng ~mean:0. ~sigma:0.05)
         end
       in
-      solve ?options ?x0_jitter circuit)
+      solve ?options ?x0_jitter ?sys ?models circuit)
 
 let voltage t node = Mna.voltage t.x node
 

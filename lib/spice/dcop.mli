@@ -27,7 +27,9 @@ val classify_error : error -> Yield_resilience.Retry.classification
 (** [No_convergence] is transient (a different starting point may converge);
     [Singular_system] is permanent (the topology itself is broken). *)
 
-val solve : ?options:options -> ?x0_jitter:(int -> float) -> Circuit.t -> (t, error) result
+val solve :
+  ?options:options -> ?x0_jitter:(int -> float) -> ?sys:Mna.sys ->
+  ?models:Mna.models -> Circuit.t -> (t, error) result
 (** [x0_jitter k] is added to unknown [k] of the initial guess — the retry
     layer uses it to perturb the starting point between attempts.
 
@@ -40,10 +42,18 @@ val solve : ?options:options -> ?x0_jitter:(int -> float) -> Circuit.t -> (t, er
     The solve chain consults three fault-injection points
     ({!Yield_resilience.Fault}): [dcop.solve] fails the whole call with
     [No_convergence], while [dcop.newton] and [dcop.gmin] fail one homotopy
-    stage each, forcing the gmin-stepping / source-stepping fallbacks. *)
+    stage each, forcing the gmin-stepping / source-stepping fallbacks.
+
+    [sys] supplies a pre-compiled {!Mna.sys} solver session (layout +
+    cached structural pattern) for the circuit's topology — the batch-first
+    Monte Carlo path compiles it once per front point; without it a
+    pattern-less dense session reproduces the historical path
+    byte-for-byte.  [models] patches per-device MOSFET models for this
+    sample (see {!Mna.models}). *)
 
 val solve_with_retry :
-  ?options:options -> ?budget_s:float -> Circuit.t -> (t, error) result
+  ?options:options -> ?budget_s:float -> ?sys:Mna.sys -> ?models:Mna.models ->
+  Circuit.t -> (t, error) result
 (** {!solve} under the [dcop.solve] retry policy (3 attempts): transient
     non-convergence is retried with a deterministic gaussian jitter
     (sigma 50 mV) on the initial guess; singular systems fail immediately.

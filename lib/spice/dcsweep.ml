@@ -21,10 +21,12 @@ let validate_source circuit ~source =
   | Device.Resistor _ | Device.Capacitor _ | Device.Vccs _ | Device.Mosfet _ ->
       invalid_arg ("Dcsweep.run: " ^ source ^ " is not a source")
 
-let run ?options circuit ~source ~values =
+let run ?options ?sys ?models circuit ~source ~values =
   if Array.length values = 0 then invalid_arg "Dcsweep.run: empty sweep";
   validate_source circuit ~source;
-  let layout = Mna.layout circuit in
+  let layout =
+    match sys with Some s -> Mna.sys_layout s | None -> Mna.layout circuit
+  in
   let solutions = Array.make (Array.length values) [||] in
   let exception Failed of Dcop.error in
   let previous = ref None in
@@ -39,7 +41,7 @@ let run ?options circuit ~source ~values =
             for node = 1 to Mna.n_nodes layout do
               Circuit.nodeset swept node (Mna.voltage x node)
             done);
-        match Dcop.solve ?options swept with
+        match Dcop.solve ?options ?sys ?models swept with
         | Error e -> raise (Failed e)
         | Ok op ->
             solutions.(i) <- Array.copy op.Dcop.x;

@@ -9,10 +9,11 @@ type t = {
 }
 
 val run :
-  ?options:Dcop.options -> Circuit.t -> source:string -> values:float array ->
-  (t, Dcop.error) result
+  ?options:Dcop.options -> ?sys:Mna.sys -> ?models:Mna.models -> Circuit.t ->
+  source:string -> values:float array -> (t, Dcop.error) result
 (** [run c ~source ~values] sweeps the DC value of the named V- or I-source.
-    Fails on the first non-converging point.
+    Fails on the first non-converging point.  [sys]/[models] are passed
+    through to each {!Dcop.solve} (the swept circuits share one topology).
     @raise Not_found when the source does not exist.
     @raise Invalid_argument when the named device is not a source or
     [values] is empty. *)

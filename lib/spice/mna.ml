@@ -1,5 +1,6 @@
 module Vec = Yield_numeric.Vec
 module Mat = Yield_numeric.Mat
+module Linsys = Yield_numeric.Linsys
 
 type layout = {
   n_nodes : int;
@@ -31,27 +32,46 @@ let branch_index l name = Hashtbl.find l.branches name
 
 let voltage x n = if n = Device.ground then 0. else x.(n - 1)
 
-(* Stamping helpers; ground rows and columns are skipped. *)
+(* Per-sample model overrides: [models.(di)] replaces the MOSFET model of
+   device index [di] (position in [Circuit.devices]) when set.  [None] (or
+   a [None] slot) means the nominal model baked into the circuit — this is
+   the batch-first Monte Carlo patching path, which must apply the exact
+   model the full-rebuild path would have baked in. *)
+type models = Mosfet.model option array
 
-let stamp_g m a b g =
-  if a <> Device.ground then Mat.add_to m (a - 1) (a - 1) g;
-  if b <> Device.ground then Mat.add_to m (b - 1) (b - 1) g;
+let model_override models di default =
+  match models with
+  | None -> default
+  | Some arr -> ( match arr.(di) with Some m -> m | None -> default)
+
+(* Stamping helpers, generic over an [add row col value] accumulator so the
+   same arithmetic lands in a dense matrix or a sparse value slot; ground
+   rows and columns are skipped. *)
+
+let stamp_g_into add a b g =
+  if a <> Device.ground then add (a - 1) (a - 1) g;
+  if b <> Device.ground then add (b - 1) (b - 1) g;
   if a <> Device.ground && b <> Device.ground then begin
-    Mat.add_to m (a - 1) (b - 1) (-.g);
-    Mat.add_to m (b - 1) (a - 1) (-.g)
+    add (a - 1) (b - 1) (-.g);
+    add (b - 1) (a - 1) (-.g)
   end
 
 (* transconductance: current [g * v(cp, cn)] leaves node [op] and enters
    node [on] *)
-let stamp_gm m op_node on_node cp cn g =
+let stamp_gm_into add op_node on_node cp cn g =
   let entry row col sign =
     if row <> Device.ground && col <> Device.ground then
-      Mat.add_to m (row - 1) (col - 1) (sign *. g)
+      add (row - 1) (col - 1) (sign *. g)
   in
   entry op_node cp 1.;
   entry op_node cn (-1.);
   entry on_node cp (-1.);
   entry on_node cn 1.
+
+let stamp_g m a b g = stamp_g_into (Mat.add_to m) a b g
+
+let stamp_gm m op_node on_node cp cn g =
+  stamp_gm_into (Mat.add_to m) op_node on_node cp cn g
 
 let inject rhs node value =
   if node <> Device.ground then rhs.(node - 1) <- rhs.(node - 1) +. value
@@ -77,28 +97,36 @@ let mos_linearise ~model ~w ~l ~d ~g ~s ~b x =
   in
   (op, ids_eff)
 
+let stamp_conductance_into = stamp_g_into
+
 let stamp_conductance = stamp_g
+
+let stamp_transconductance_into add ~out_p ~out_n ~in_p ~in_n g =
+  stamp_gm_into add out_p out_n in_p in_n g
 
 let stamp_transconductance m ~out_p ~out_n ~in_p ~in_n g =
   stamp_gm m out_p out_n in_p in_n g
 
-let stamp_branch m l ~name ~npos ~nneg =
+let stamp_branch_into add l ~name ~npos ~nneg =
   let br = Hashtbl.find l.branches name in
   if npos <> Device.ground then begin
-    Mat.add_to m (npos - 1) br 1.;
-    Mat.add_to m br (npos - 1) 1.
+    add (npos - 1) br 1.;
+    add br (npos - 1) 1.
   end;
   if nneg <> Device.ground then begin
-    Mat.add_to m (nneg - 1) br (-1.);
-    Mat.add_to m br (nneg - 1) (-1.)
+    add (nneg - 1) br (-1.);
+    add br (nneg - 1) (-1.)
   end
 
-let stamp_mosfet_dc mat rhs ~x ~d ~g:gate ~s ~b ~model ~w ~l =
+let stamp_branch m l ~name ~npos ~nneg =
+  stamp_branch_into (Mat.add_to m) l ~name ~npos ~nneg
+
+let stamp_mosfet_dc_into add rhs ~x ~d ~g:gate ~s ~b ~model ~w ~l =
   let op, ids_eff = mos_linearise ~model ~w ~l ~d ~g:gate ~s ~b x in
   let gm = op.Mosfet.gm and gds = op.Mosfet.gds and gmb = op.Mosfet.gmb in
-  stamp_gm mat d s gate s gm;
-  stamp_g mat d s gds;
-  stamp_gm mat d s b s gmb;
+  stamp_gm_into add d s gate s gm;
+  stamp_g_into add d s gds;
+  stamp_gm_into add d s b s gmb;
   let vd = voltage x d
   and vg = voltage x gate
   and vs = voltage x s
@@ -111,77 +139,171 @@ let stamp_mosfet_dc mat rhs ~x ~d ~g:gate ~s ~b ~model ~w ~l =
   inject rhs s (-.ieq);
   op
 
-let assemble_dc circuit l ~x ~source_scale ~gmin =
-  let g = Mat.create l.size l.size in
-  let rhs = Vec.create l.size in
+let stamp_mosfet_dc mat rhs ~x ~d ~g ~s ~b ~model ~w ~l =
+  stamp_mosfet_dc_into (Mat.add_to mat) rhs ~x ~d ~g ~s ~b ~model ~w ~l
+
+(* ---------- structural pattern, built once per topology ---------- *)
+
+(* Union of every structural position any analysis stamps for this circuit:
+   the DC Newton system (gmin node diagonal, conductances, branch rows,
+   transconductances), the AC system (capacitor and MOS-capacitance
+   positions, leak diagonal), and the transient companion models (the same
+   capacitive pairs as conductances).  One superset pattern per topology
+   keeps a single cached symbolic factorisation valid for all of them at
+   the cost of a little extra fill. *)
+let pattern circuit l =
+  let bld = Linsys.Pattern.builder l.size in
+  let add i j = Linsys.Pattern.add bld i j in
+  (* capacitor-only positions are numerically zero in a DC assembly, so
+     they enter the pattern as weak entries: structurally present (the AC
+     and transient assemblies fill them) but never eligible as a pivot of
+     the csr transversal *)
+  let add_weak i j = Linsys.Pattern.add_weak bld i j in
+  let pg a b = stamp_g_into (fun i j _ -> add i j) a b 1. in
+  let pc a b = stamp_g_into (fun i j _ -> add_weak i j) a b 1. in
+  let pgm op_node on_node cp cn =
+    stamp_gm_into (fun i j _ -> add i j) op_node on_node cp cn 1.
+  in
   for i = 0 to l.n_nodes - 1 do
-    Mat.add_to g i i gmin
+    add i i
   done;
-  let stamp_device dev =
+  Array.iter
+    (fun dev ->
+      match dev with
+      | Device.Resistor { n1; n2; _ } -> pg n1 n2
+      | Device.Capacitor { n1; n2; _ } -> pc n1 n2
+      | Device.Vsource { name; npos; nneg; _ } ->
+          stamp_branch_into (fun i j _ -> add i j) l ~name ~npos ~nneg
+      | Device.Isource _ -> ()
+      | Device.Vccs { out_p; out_n; in_p; in_n; _ } -> pgm out_p out_n in_p in_n
+      | Device.Mosfet { d; g; s; b; _ } ->
+          pgm d s g s;
+          pg d s;
+          pgm d s b s;
+          (* capacitive pairs: AC C stamps and transient companion models *)
+          pc g s;
+          pc g d;
+          pc d b;
+          pc s b)
+    (Circuit.devices circuit);
+  Linsys.Pattern.build bld
+
+type sys = { sys_layout : layout; compiled : Linsys.t }
+
+let sys ?(backend = Linsys.Dense) circuit =
+  let l = layout circuit in
+  { sys_layout = l; compiled = Linsys.compile backend (pattern circuit l) }
+
+let dense_sys_of_layout l =
+  { sys_layout = l; compiled = Linsys.dense_of_size l.size }
+
+let sys_layout s = s.sys_layout
+
+let sys_real s = Linsys.real s.compiled
+
+let sys_complex s = Linsys.complex s.compiled
+
+let sys_solver_name s = Linsys.name s.compiled
+
+(* ---------- assembly ---------- *)
+
+let assemble_dc_core add rhs ?models circuit l ~x ~source_scale ~gmin =
+  for i = 0 to l.n_nodes - 1 do
+    add i i gmin
+  done;
+  let stamp_device di dev =
     match dev with
-    | Device.Resistor { n1; n2; ohms; _ } -> stamp_g g n1 n2 (1. /. ohms)
+    | Device.Resistor { n1; n2; ohms; _ } -> stamp_g_into add n1 n2 (1. /. ohms)
     | Device.Capacitor _ -> ()
     | Device.Vsource { name; npos; nneg; dc; _ } ->
-        stamp_branch g l ~name ~npos ~nneg;
+        stamp_branch_into add l ~name ~npos ~nneg;
         rhs.(Hashtbl.find l.branches name) <- dc *. source_scale
     | Device.Isource { npos; nneg; dc; _ } ->
         inject rhs npos (-.dc *. source_scale);
         inject rhs nneg (dc *. source_scale)
     | Device.Vccs { out_p; out_n; in_p; in_n; gm; _ } ->
-        stamp_gm g out_p out_n in_p in_n gm
+        stamp_gm_into add out_p out_n in_p in_n gm
     | Device.Mosfet { d; g = gate; s; b; model; w; l = len; _ } ->
         (* For both polarities, in node-voltage terms:
              d ids_eff/d vg = gm, d/d vd = gds, d/d vb = gmb,
              d/d vs = -(gm + gds + gmb).
            (For PMOS the two sign flips cancel.) *)
-        ignore (stamp_mosfet_dc g rhs ~x ~d ~g:gate ~s ~b ~model ~w ~l:len)
+        let model = model_override models di model in
+        ignore
+          (stamp_mosfet_dc_into add rhs ~x ~d ~g:gate ~s ~b ~model ~w ~l:len)
   in
-  Array.iter stamp_device (Circuit.devices circuit);
+  Array.iteri stamp_device (Circuit.devices circuit)
+
+let assemble_dc ?models circuit l ~x ~source_scale ~gmin =
+  let g = Mat.create l.size l.size in
+  let rhs = Vec.create l.size in
+  assemble_dc_core (Mat.add_to g) rhs ?models circuit l ~x ~source_scale ~gmin;
   (g, rhs)
 
-let mos_operating_points circuit ~x =
-  let collect acc dev =
+let assemble_dc_into (rs : Linsys.real) ?models circuit l ~x ~source_scale
+    ~gmin =
+  rs.Linsys.reset ();
+  let rhs = Vec.create l.size in
+  assemble_dc_core rs.Linsys.add rhs ?models circuit l ~x ~source_scale ~gmin;
+  rhs
+
+let mos_operating_points ?models circuit ~x =
+  let acc = ref [] in
+  Array.iteri
+    (fun di dev ->
+      match dev with
+      | Device.Mosfet { name; d; g; s; b; model; w; l } ->
+          let model = model_override models di model in
+          let op, _ = mos_linearise ~model ~w ~l ~d ~g ~s ~b x in
+          acc := (name, op) :: !acc
+      | Device.Resistor _ | Device.Capacitor _ | Device.Vsource _
+      | Device.Isource _ | Device.Vccs _ ->
+          ())
+    (Circuit.devices circuit);
+  List.rev !acc
+
+let assemble_ac_core add_g add_c rhs circuit l ~ops =
+  let stamp_device dev =
     match dev with
-    | Device.Mosfet { name; d; g; s; b; model; w; l } ->
-        let op, _ = mos_linearise ~model ~w ~l ~d ~g ~s ~b x in
-        (name, op) :: acc
-    | Device.Resistor _ | Device.Capacitor _ | Device.Vsource _
-    | Device.Isource _ | Device.Vccs _ ->
-        acc
+    | Device.Resistor { n1; n2; ohms; _ } -> stamp_g_into add_g n1 n2 (1. /. ohms)
+    | Device.Capacitor { n1; n2; farads; _ } -> stamp_g_into add_c n1 n2 farads
+    | Device.Vsource { name; npos; nneg; ac; _ } ->
+        stamp_branch_into add_g l ~name ~npos ~nneg;
+        rhs.(Hashtbl.find l.branches name) <- { Complex.re = ac; im = 0. }
+    | Device.Isource { npos; nneg; ac; _ } ->
+        if npos <> Device.ground then
+          rhs.(npos - 1) <-
+            Complex.add rhs.(npos - 1) { Complex.re = -.ac; im = 0. };
+        if nneg <> Device.ground then
+          rhs.(nneg - 1) <-
+            Complex.add rhs.(nneg - 1) { Complex.re = ac; im = 0. }
+    | Device.Vccs { out_p; out_n; in_p; in_n; gm; _ } ->
+        stamp_gm_into add_g out_p out_n in_p in_n gm
+    | Device.Mosfet { name; d; g = gate; s; b; _ } ->
+        let op = ops name in
+        stamp_gm_into add_g d s gate s op.Mosfet.gm;
+        stamp_g_into add_g d s op.Mosfet.gds;
+        stamp_gm_into add_g d s b s op.Mosfet.gmb;
+        stamp_g_into add_c gate s op.Mosfet.cgs;
+        stamp_g_into add_c gate d op.Mosfet.cgd;
+        stamp_g_into add_c d b op.Mosfet.cdb;
+        stamp_g_into add_c s b op.Mosfet.csb
   in
-  List.rev (Array.fold_left collect [] (Circuit.devices circuit))
+  Array.iter stamp_device (Circuit.devices circuit);
+  (* small leak keeps floating nodes (e.g. pure-capacitive) solvable *)
+  for i = 0 to l.n_nodes - 1 do
+    add_g i i 1e-12
+  done
 
 let assemble_ac circuit l ~ops =
   let g = Mat.create l.size l.size in
   let c = Mat.create l.size l.size in
   let rhs = Array.make l.size Complex.zero in
-  let stamp_device dev =
-    match dev with
-    | Device.Resistor { n1; n2; ohms; _ } -> stamp_g g n1 n2 (1. /. ohms)
-    | Device.Capacitor { n1; n2; farads; _ } -> stamp_g c n1 n2 farads
-    | Device.Vsource { name; npos; nneg; ac; _ } ->
-        stamp_branch g l ~name ~npos ~nneg;
-        rhs.(Hashtbl.find l.branches name) <- { Complex.re = ac; im = 0. }
-    | Device.Isource { npos; nneg; ac; _ } ->
-        if npos <> Device.ground then
-          rhs.(npos - 1) <- Complex.add rhs.(npos - 1) { Complex.re = -.ac; im = 0. };
-        if nneg <> Device.ground then
-          rhs.(nneg - 1) <- Complex.add rhs.(nneg - 1) { Complex.re = ac; im = 0. }
-    | Device.Vccs { out_p; out_n; in_p; in_n; gm; _ } ->
-        stamp_gm g out_p out_n in_p in_n gm
-    | Device.Mosfet { name; d; g = gate; s; b; _ } ->
-        let op = ops name in
-        stamp_gm g d s gate s op.Mosfet.gm;
-        stamp_g g d s op.Mosfet.gds;
-        stamp_gm g d s b s op.Mosfet.gmb;
-        stamp_g c gate s op.Mosfet.cgs;
-        stamp_g c gate d op.Mosfet.cgd;
-        stamp_g c d b op.Mosfet.cdb;
-        stamp_g c s b op.Mosfet.csb
-  in
-  Array.iter stamp_device (Circuit.devices circuit);
-  (* small leak keeps floating nodes (e.g. pure-capacitive) solvable *)
-  for i = 0 to l.n_nodes - 1 do
-    Mat.add_to g i i 1e-12
-  done;
+  assemble_ac_core (Mat.add_to g) (Mat.add_to c) rhs circuit l ~ops;
   (g, c, rhs)
+
+let assemble_ac_into (cs : Linsys.complex_sys) circuit l ~ops =
+  cs.Linsys.creset ();
+  let rhs = Array.make l.size Complex.zero in
+  assemble_ac_core cs.Linsys.add_g cs.Linsys.add_c rhs circuit l ~ops;
+  rhs

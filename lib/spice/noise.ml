@@ -1,4 +1,4 @@
-module Cmat = Yield_numeric.Cmat
+module Linsys = Yield_numeric.Linsys
 
 type flicker = { kf_n : float; kf_p : float }
 
@@ -32,11 +32,11 @@ type source = {
   src_kind : [ `Thermal | `Flicker ];
 }
 
-let collect_sources flicker circuit (op : Dcop.t) =
+let collect_sources ?models flicker circuit (op : Dcop.t) =
   let four_kt = 4. *. boltzmann *. temperature in
   let acc = ref [] in
-  Array.iter
-    (fun dev ->
+  Array.iteri
+    (fun di dev ->
       match dev with
       | Device.Resistor { name; n1; n2; ohms; _ } ->
           acc :=
@@ -49,6 +49,7 @@ let collect_sources flicker circuit (op : Dcop.t) =
             }
             :: !acc
       | Device.Mosfet { name; d; s; model; w; l; _ } ->
+          let model = Mna.model_override models di model in
           let mos = Dcop.mos_op op name in
           let gm = mos.Mosfet.gm in
           let thermal = four_kt *. (2. /. 3.) *. gm in
@@ -84,16 +85,21 @@ let collect_sources flicker circuit (op : Dcop.t) =
     (Circuit.devices circuit);
   List.rev !acc
 
-let output_noise ?(flicker = default_flicker) circuit op ~out ~freqs =
-  let layout = op.Dcop.layout in
+let output_noise ?(flicker = default_flicker) ?sys ?models circuit op ~out
+    ~freqs =
+  let s =
+    match sys with Some s -> s | None -> Mna.dense_sys_of_layout op.Dcop.layout
+  in
+  let layout = Mna.sys_layout s in
+  let cs = Mna.sys_complex s in
   let ops name = Dcop.mos_op op name in
-  let g, c, _ = Mna.assemble_ac circuit layout ~ops in
-  let sources = collect_sources flicker circuit op in
+  let _ = Mna.assemble_ac_into cs circuit layout ~ops in
+  let sources = collect_sources ?models flicker circuit op in
   let size = Mna.size layout in
   Array.map
     (fun freq ->
       let omega = 2. *. Float.pi *. freq in
-      let m = Cmat.of_real ~imag_scale:omega g c in
+      let solve = cs.Linsys.factor ~omega in
       let transfer_mag2 src =
         (* unit current injected from [from_node] into [to_node] *)
         let rhs = Array.make size Complex.zero in
@@ -101,7 +107,7 @@ let output_noise ?(flicker = default_flicker) circuit op ~out ~freqs =
           rhs.(src.from_node - 1) <- { Complex.re = -1.; im = 0. };
         if src.to_node <> Device.ground then
           rhs.(src.to_node - 1) <- { Complex.re = 1.; im = 0. };
-        let x = Cmat.solve m rhs in
+        let x = solve rhs in
         if out = Device.ground then 0.
         else begin
           let z = x.(out - 1) in

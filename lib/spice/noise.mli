@@ -28,9 +28,13 @@ type point = {
 }
 
 val output_noise :
-  ?flicker:flicker -> Circuit.t -> Dcop.t -> out:Device.node ->
-  freqs:float array -> point array
-(** Output-referred noise spectral density at each frequency. *)
+  ?flicker:flicker -> ?sys:Mna.sys -> ?models:Mna.models -> Circuit.t ->
+  Dcop.t -> out:Device.node -> freqs:float array -> point array
+(** Output-referred noise spectral density at each frequency.  [sys] reuses
+    a pre-compiled {!Mna.sys} solver session; [models] applies per-sample
+    MOSFET model overrides (they set the flicker polarity/Cox scaling —
+    the small-signal network itself comes from the operating points in the
+    {!Dcop.t}). *)
 
 val input_referred :
   point array -> gain:Ac.bode -> (float * float) array

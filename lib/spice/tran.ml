@@ -1,6 +1,6 @@
 module Vec = Yield_numeric.Vec
-module Mat = Yield_numeric.Mat
 module Lu = Yield_numeric.Lu
+module Linsys = Yield_numeric.Linsys
 
 type options = {
   t_stop : float;
@@ -74,11 +74,20 @@ let initial_circuit circuit =
       | Device.Mosfet _ ->
           dev)
 
-let run options circuit =
-  let layout = Mna.layout circuit in
+let run ?sys ?models options circuit =
+  let layout =
+    match sys with Some s -> Mna.sys_layout s | None -> Mna.layout circuit
+  in
   let size = Mna.size layout in
   let devices = Circuit.devices circuit in
-  match Dcop.solve (initial_circuit circuit) with
+  (* one numeric workspace reused across all steps and Newton iterations; a
+     dense one reproduces the historical fresh-matrix path byte-for-byte *)
+  let rs =
+    match sys with
+    | Some s -> Mna.sys_real s
+    | None -> Linsys.real (Linsys.dense_of_size size)
+  in
+  match Dcop.solve ?sys ?models (initial_circuit circuit) with
   | Error e -> Error (Dc_failed e)
   | Ok op0 -> begin
       let slots = Array.map slots_of_device devices in
@@ -107,24 +116,26 @@ let run options circuit =
         let rec newton iter =
           if iter > options.max_newton then None
           else begin
-            let mat = Mat.create size size in
+            rs.Linsys.reset ();
+            let add = rs.Linsys.add in
             let rhs = Vec.create size in
             for i = 0 to Mna.n_nodes layout - 1 do
-              Mat.add_to mat i i 1e-12
+              add i i 1e-12
             done;
             Array.iteri
               (fun di dev ->
                 match dev with
                 | Device.Resistor { n1; n2; ohms; _ } ->
-                    Mna.stamp_conductance mat n1 n2 (1. /. ohms)
+                    Mna.stamp_conductance_into add n1 n2 (1. /. ohms)
                 | Device.Capacitor _ | Device.Mosfet _ ->
                     (* caps handled via slots below; MOS conductive part
                        stamped here *)
                     (match dev with
                     | Device.Mosfet { d; g; s; b; model; w; l; name = _ } ->
+                        let model = Mna.model_override models di model in
                         ignore
-                          (Mna.stamp_mosfet_dc mat rhs ~x ~d ~g ~s ~b ~model ~w
-                             ~l)
+                          (Mna.stamp_mosfet_dc_into add rhs ~x ~d ~g ~s ~b
+                             ~model ~w ~l)
                     | _ -> ());
                     List.iter
                       (fun slot ->
@@ -136,12 +147,12 @@ let run options circuit =
                           if first then geq *. v_old
                           else (geq *. v_old) +. slot.i_prev
                         in
-                        Mna.stamp_conductance mat slot.a slot.b geq;
+                        Mna.stamp_conductance_into add slot.a slot.b geq;
                         Mna.inject rhs slot.a i_hist;
                         Mna.inject rhs slot.b (-.i_hist))
                       slots.(di)
                 | Device.Vsource { name; npos; nneg; dc; wave; _ } ->
-                    Mna.stamp_branch mat layout ~name ~npos ~nneg;
+                    Mna.stamp_branch_into add layout ~name ~npos ~nneg;
                     rhs.(Mna.branch_index layout name) <-
                       source_value_at ~dc ~wave t
                 | Device.Isource { npos; nneg; dc; wave; _ } ->
@@ -149,12 +160,12 @@ let run options circuit =
                     Mna.inject rhs npos (-.value);
                     Mna.inject rhs nneg value
                 | Device.Vccs { out_p; out_n; in_p; in_n; gm; _ } ->
-                    Mna.stamp_transconductance mat ~out_p ~out_n ~in_p ~in_n gm)
+                    Mna.stamp_transconductance_into add ~out_p ~out_n ~in_p
+                      ~in_n gm)
               devices;
-            match Lu.factor mat with
+            match rs.Linsys.solve rhs with
             | exception Lu.Singular _ -> None
-            | f ->
-                let x_new = Lu.solve f rhs in
+            | x_new ->
                 let delta = ref 0. in
                 for k = 0 to size - 1 do
                   let dk = x_new.(k) -. x.(k) in
@@ -203,6 +214,7 @@ let run options circuit =
                      slots.(di);
                    match dev with
                    | Device.Mosfet { d; g; s; b; model; w; l; name = _ } ->
+                       let model = Mna.model_override models di model in
                        let vgs, vds, vbs =
                          let vd = Mna.voltage x d
                          and vg = Mna.voltage x g

@@ -27,9 +27,13 @@ type error = Dc_failed of Dcop.error | Step_failed of { time : float }
 
 val error_to_string : error -> string
 
-val run : options -> Circuit.t -> (t, error) Stdlib.result
+val run :
+  ?sys:Mna.sys -> ?models:Mna.models -> options -> Circuit.t ->
+  (t, error) Stdlib.result
 (** Solves the DC operating point (waveform values at t = 0), then
-    integrates to [t_stop]. *)
+    integrates to [t_stop].  [sys] reuses a pre-compiled {!Mna.sys} solver
+    session for the circuit's topology; [models] applies per-sample MOSFET
+    model overrides (see {!Mna.models}). *)
 
 val voltage : t -> Device.node -> float array
 (** Waveform of one node voltage across all time points. *)

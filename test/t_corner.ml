@@ -178,7 +178,10 @@ let soundness_case ~name ~samples ~seed ~k ~conditions ~circuit
   in
   let skipped = ref 0 and degenerate = ref 0 and checked = ref 0 in
   for _ = 1 to samples do
-    let perturbed = Variation.perturb_circuit_gen spec truncated_z circuit in
+    let perturbed =
+      Variation.apply_overrides circuit
+        (Variation.overrides_gen spec truncated_z circuit)
+    in
     if not (sample_in_box ~k ~spec ~slices:report.CL.slices circuit perturbed)
     then incr skipped
     else

@@ -1,6 +1,6 @@
 (* Tests for the yield_exec execution layer and its determinism guarantees
    through the stack: the domain pool's order-independent reduction, the
-   one jobs resolution rule, shim/pool equivalence in Montecarlo, WBGA
+   one jobs resolution rule, pool/serial equivalence in Montecarlo, WBGA
    bit-identity serial vs pooled, byte-identical flow tables at -j 1 vs
    -j 4 (also through a mid-WBGA kill + resume), fault accounting under
    parallel evaluation, and the C006 config lint. *)
@@ -132,14 +132,9 @@ let test_jobs_resolution () =
       Alcotest.(check int) "no env -> recommended" (Jobs.recommended ())
         (Jobs.resolve ()))
 
-(* ---------- Montecarlo: deprecated shim = pool path ---------- *)
+(* ---------- Montecarlo: pooled batch = serial batch ---------- *)
 
-(* the one deliberate use of the deprecated name: the compatibility shim
-   must stay byte-identical to the shared-pool path it wraps *)
-let shim_run_parallel_counted =
-  (Montecarlo.run_parallel_counted [@alert "-deprecated"])
-
-let test_mc_shim_equals_pool () =
+let test_mc_pool_equals_serial () =
   let f (r : Rng.t) =
     let x = Rng.float r in
     if x < 0.25 then None else Some (x +. Rng.float r)
@@ -148,21 +143,30 @@ let test_mc_shim_equals_pool () =
     Pool.with_pool ~jobs:4 (fun pool ->
         Montecarlo.run_pool_counted ~pool ~samples:64 ~rng:(Rng.create 5) f)
   in
-  let shim_path =
-    shim_run_parallel_counted ~domains:4 ~samples:64 ~rng:(Rng.create 5) f
-  in
-  Alcotest.(check int) "attempted" pool_path.Montecarlo.attempted
-    shim_path.Montecarlo.attempted;
-  Alcotest.(check int) "failed" pool_path.Montecarlo.failed
-    shim_path.Montecarlo.failed;
+  let serial_path = Montecarlo.run_counted ~samples:64 ~rng:(Rng.create 5) f in
+  Alcotest.(check int) "attempted" serial_path.Montecarlo.attempted
+    pool_path.Montecarlo.attempted;
+  Alcotest.(check int) "failed" serial_path.Montecarlo.failed
+    pool_path.Montecarlo.failed;
   Alcotest.(check int) "kept"
-    (Array.length pool_path.Montecarlo.results)
-    (Array.length shim_path.Montecarlo.results);
+    (Array.length serial_path.Montecarlo.results)
+    (Array.length pool_path.Montecarlo.results);
   Array.iteri
     (fun i v ->
       check_bits (Printf.sprintf "sample %d" i) v
-        shim_path.Montecarlo.results.(i))
-    pool_path.Montecarlo.results
+        pool_path.Montecarlo.results.(i))
+    serial_path.Montecarlo.results;
+  (* the bare-result wrapper is the counted batch minus the accounting *)
+  let bare =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Montecarlo.run_pool ~pool ~samples:64 ~rng:(Rng.create 5) f)
+  in
+  Alcotest.(check int) "run_pool kept"
+    (Array.length serial_path.Montecarlo.results)
+    (Array.length bare);
+  Array.iteri
+    (fun i v -> check_bits (Printf.sprintf "bare sample %d" i) v bare.(i))
+    serial_path.Montecarlo.results
 
 (* ---------- WBGA: serial = pooled, bit for bit ---------- *)
 
@@ -316,6 +320,8 @@ let lint_view jobs =
     control = "3E";
     seed = 47;
     jobs;
+    solver = "dense";
+    system_size = None;
     fingerprint = "v1;test";
   }
 
@@ -350,7 +356,7 @@ let suites =
     ( "exec.jobs",
       [ Alcotest.test_case "resolution rule" `Quick test_jobs_resolution ] );
     ( "exec.mc",
-      [ Alcotest.test_case "shim = pool" `Quick test_mc_shim_equals_pool ] );
+      [ Alcotest.test_case "pool = serial" `Quick test_mc_pool_equals_serial ] );
     ( "exec.wbga",
       [
         Alcotest.test_case "serial = pooled bit-identical" `Quick

@@ -3,6 +3,7 @@ let () =
     (List.concat
        [
          T_numeric.suites;
+         T_linsys.suites;
          T_obs.suites;
          T_stats.suites;
          T_spice.suites;
